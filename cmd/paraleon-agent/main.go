@@ -1,0 +1,74 @@
+// Command paraleon-agent drives a simulated RDMA cluster whose monitoring
+// agents report to an external controller (cmd/paraleon-controller) over
+// real TCP — the two binaries together mirror the paper's prototype
+// deployment.
+//
+// Usage (two terminals):
+//
+//	paraleon-controller -addr 127.0.0.1:9419
+//	paraleon-agent -controller 127.0.0.1:9419 -duration 100ms -load 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ctrlrpc"
+	"repro/internal/eventsim"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	controller := flag.String("controller", "127.0.0.1:9419", "controller address")
+	duration := flag.Duration("duration", 100*time.Millisecond, "virtual run length")
+	load := flag.Float64("load", 0.4, "FB_Hadoop offered load")
+	scaleName := flag.String("scale", "quick", "fabric scale: quick | medium | paper")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "quick":
+		scale = harness.QuickScale()
+	case "medium":
+		scale = harness.MediumScale()
+	case "paper":
+		scale = harness.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	res, err := harness.RunTestbed(harness.TestbedConfig{
+		Scale:          scale,
+		Server:         ctrlrpc.DefaultServerConfig(), // ignored with ControllerAddr
+		ControllerAddr: *controller,
+		Duration:       eventsim.Time(duration.Nanoseconds()),
+		DrainAfter:     true,
+		Workload: func(n *sim.Network) error {
+			_, err := workload.InstallPoisson(n, workload.PoissonConfig{
+				CDF:      workload.FBHadoop(),
+				Load:     *load,
+				Duration: eventsim.Time(duration.Nanoseconds()),
+			})
+			return err
+		},
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	sum := res.Net.Completed
+	fmt.Printf("ran %v of virtual time against controller %s\n", *duration, *controller)
+	fmt.Printf("  flows completed:       %d\n", len(sum))
+	fmt.Printf("  parameter dispatches:  %d\n", res.Dispatches)
+	fmt.Printf("  report frame size:     %d B\n", res.ReportBytes)
+	fmt.Printf("  params frame size:     %d B\n", res.ParamsBytes)
+	fmt.Printf("  agent bytes uploaded:  %d B\n", res.AgentBytesOut)
+	if res.TP.Len() > 0 {
+		fmt.Printf("  final interval: TP=%.3f RTTnorm=%.3f\n",
+			res.TP.Values[res.TP.Len()-1], res.RTT.Values[res.RTT.Len()-1])
+	}
+}

@@ -1,0 +1,73 @@
+// Command paraleon-controller runs the centralized Paraleon controller as
+// a standalone TCP service. Agents (cmd/paraleon-agent, or the testbed
+// harness with -controller) connect to it, upload per-interval metrics,
+// and receive DCQCN parameter updates.
+//
+// Usage:
+//
+//	paraleon-controller -addr 127.0.0.1:9419
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ctrlrpc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9419", "listen address")
+	theta := flag.Float64("theta", 0.01, "KL trigger threshold")
+	wTP := flag.Float64("w-tp", 0.2, "utility weight for throughput")
+	wRTT := flag.Float64("w-rtt", 0.5, "utility weight for RTT")
+	wPFC := flag.Float64("w-pfc", 0.3, "utility weight for PFC")
+	seed := flag.Int64("seed", 1, "tuner randomness seed")
+	statsEvery := flag.Duration("stats-every", 10*time.Second, "stats print period (0 disables)")
+	flag.Parse()
+
+	cfg := ctrlrpc.DefaultServerConfig()
+	cfg.Theta = *theta
+	cfg.Weights.TP, cfg.Weights.RTT, cfg.Weights.PFC = *wTP, *wRTT, *wPFC
+	cfg.Seed = *seed
+	cfg.Logger = log.New(os.Stderr, "controller: ", log.LstdFlags)
+	if err := cfg.Weights.Validate(); err != nil {
+		log.Fatalf("bad weights: %v", err)
+	}
+
+	srv, err := ctrlrpc.Serve(*addr, cfg)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("paraleon controller listening on %s (theta=%.3g weights=%.2f/%.2f/%.2f)\n",
+		srv.Addr(), *theta, *wTP, *wRTT, *wPFC)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			st := srv.Stats()
+			fmt.Printf("stats: reports=%d ticks=%d triggers=%d dispatches=%d in=%dB out=%dB cpu=%v\n",
+				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
+		case <-stop:
+			st := srv.Stats()
+			fmt.Printf("\nfinal: reports=%d ticks=%d triggers=%d dispatches=%d in=%dB out=%dB cpu=%v\n",
+				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
+			srv.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Command paraleon-sim regenerates the paper's tables and figures from
+// the simulation harness.
+//
+// Usage:
+//
+//	paraleon-sim -exp table2          # one experiment
+//	paraleon-sim -exp all             # everything (minutes)
+//	paraleon-sim -exp fig7fb -scale medium -horizon 80ms
+//	paraleon-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/harness"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(scale harness.Scale, horizon eventsim.Time) error
+}
+
+// csvDir, when set via -csv, makes timeline/CDF experiments also write
+// machine-readable series next to their printed tables.
+var csvDir string
+
+func experiments() []experiment {
+	out := os.Stdout
+	return []experiment{
+		{"table2", "alltoall bandwidth: default vs expert (Table II)", func(s harness.Scale, _ eventsim.Time) error {
+			r, err := harness.Table2(s, 6, []int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig5", "single-parameter impacts (Fig 5)", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.Fig5(s, h)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig6", "inter-parameter impacts (Fig 6)", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.Fig6(s, h)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig7fb", "FB_Hadoop FCT slowdowns, 5 schemes (Fig 7a,b)", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.Fig7FB(s, harness.AllSchemes(), 0.3, h)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig7llm", "LLM training FCT tails (Fig 7c,d)", func(s harness.Scale, _ eventsim.Time) error {
+			r, err := harness.Fig7LLM(s, harness.AllSchemes(), []int{4, 6}, 1<<20, 4)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			if csvDir != "" {
+				return r.WriteCDFCSVs(csvDir, "fig7llm")
+			}
+			return nil
+		}},
+		{"fig8", "workload influx timeline, 5 schemes (Fig 8)", func(s harness.Scale, _ eventsim.Time) error {
+			r, err := harness.RunInflux(s, harness.AllSchemes(), harness.DefaultInfluxSpec())
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			if csvDir != "" {
+				return r.WriteCSVs(csvDir, "fig8")
+			}
+			return nil
+		}},
+		{"fig9", "pretrained statics vs adaptive Paraleon (Fig 9)", func(s harness.Scale, _ eventsim.Time) error {
+			spec := harness.DefaultInfluxSpec()
+			p1, p2, err := harness.PretrainedSchemes(s, spec)
+			if err != nil {
+				return err
+			}
+			r, err := harness.RunInflux(s, []harness.Scheme{p1, p2, harness.ParaleonScheme()}, spec)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			if csvDir != "" {
+				return r.WriteCSVs(csvDir, "fig9")
+			}
+			return nil
+		}},
+		{"fig10", "monitoring designs: accuracy & FCT (Fig 10)", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.Fig10(s, []float64{0.3, 0.5, 0.7}, h)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig11", "monitor-interval sweep (Fig 11)", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.Fig11(s, []float64{1, 2, 4, 8}, 0.3, h)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig12", "SA convergence: guided+relaxed vs naive (Fig 12)", func(s harness.Scale, h eventsim.Time) error {
+			horizon := h
+			if horizon < 350*eventsim.Millisecond {
+				// Long enough for the Table III session (~280 intervals)
+				// to complete.
+				horizon = 350 * eventsim.Millisecond
+			}
+			r, err := harness.Fig12(s, horizon)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig13", "testbed-mode alltoall bandwidth (Fig 13)", func(s harness.Scale, _ eventsim.Time) error {
+			r, err := harness.Fig13(s, []int{4, 6, 8}, 1<<20, 100*eventsim.Millisecond)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+		{"fig14", "testbed-mode influx with SolarRPC (Fig 14)", func(s harness.Scale, _ eventsim.Time) error {
+			r, err := harness.Fig14(s, harness.TestbedInfluxSpec())
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			if csvDir != "" {
+				return r.WriteCSVs(csvDir, "fig14")
+			}
+			return nil
+		}},
+		{"table4", "control-plane overheads (Table IV)", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.Table4(s, h)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
+	scaleName := flag.String("scale", "quick", "fabric scale: quick | medium | paper")
+	horizon := flag.Duration("horizon", 40*time.Millisecond, "measurement horizon (virtual time)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csv := flag.String("csv", "", "directory for CSV series output (timeline/CDF experiments)")
+	flag.Parse()
+	csvDir = *csv
+
+	exps := experiments()
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		names := make([]string, 0, len(exps))
+		byName := map[string]experiment{}
+		for _, e := range exps {
+			names = append(names, e.name)
+			byName[e.name] = e
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-10s %s\n", n, byName[n].desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "quick":
+		scale = harness.QuickScale()
+	case "medium":
+		scale = harness.MediumScale()
+	case "paper":
+		scale = harness.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	h := eventsim.Time(horizon.Nanoseconds())
+
+	run := func(e experiment) {
+		fmt.Printf("== %s: %s (scale=%s)\n", e.name, e.desc, *scaleName)
+		start := time.Now()
+		if err := e.run(scale, h); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range exps {
+			run(e)
+		}
+		return
+	}
+	for _, e := range exps {
+		if e.name == *exp {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+	os.Exit(2)
+}

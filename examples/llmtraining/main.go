@@ -1,0 +1,75 @@
+// LLM training: run the paper's ON/OFF alltoall collective (the
+// communication pattern of expert-parallel training) under three DCQCN
+// settings — NVIDIA default, the hand-tuned expert setting of Table I,
+// and live Paraleon tuning with throughput-leaning utility weights — and
+// report per-round collective goodput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	paraleon "repro"
+)
+
+const (
+	workers  = 6
+	message  = 2 << 20 // bytes per worker pair per round
+	offTime  = 3 * paraleon.Millisecond
+	horizon  = 150 * paraleon.Millisecond
+	maxDrain = 2 * paraleon.Second
+)
+
+func run(name string, params paraleon.Params, tuned bool) {
+	cfg := paraleon.DefaultNetworkConfig()
+	// 4:1 over-subscribe the fabric so the collective actually contends.
+	cfg.Clos.FabricLinkBps = cfg.Clos.HostLinkBps
+	cfg.Params = params
+	net, err := paraleon.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tuned {
+		sysCfg := paraleon.DefaultSystemConfig()
+		sysCfg.Weights = paraleon.ThroughputWeights()
+		sys, err := paraleon.Attach(net, sysCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.Start()
+	}
+	gen, err := paraleon.InstallAlltoall(net, paraleon.AlltoallConfig{
+		Workers:      net.Topo.Hosts()[:workers],
+		MessageBytes: message,
+		OffTime:      offTime,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run(horizon)
+	gen.Stop()
+	net.RunUntilIdle(maxDrain)
+
+	fmt.Printf("%-10s rounds=%-3d goodput per round (Gbps):", name, gen.RoundsDone)
+	var sum float64
+	for r := 0; r < gen.RoundsDone; r++ {
+		bw := gen.AggregateGoodputBps(r) / 1e9
+		sum += bw
+		if r < 8 {
+			fmt.Printf(" %5.1f", bw)
+		}
+	}
+	if gen.RoundsDone > 0 {
+		fmt.Printf("   (mean %.1f)\n", sum/float64(gen.RoundsDone))
+	} else {
+		fmt.Println()
+	}
+}
+
+func main() {
+	fmt.Printf("llm training: %dx%d alltoall, %d MB per pair per round\n",
+		workers, workers, message>>20)
+	run("default", paraleon.DefaultParams(), false)
+	run("expert", paraleon.ExpertParams(), false)
+	run("paraleon", paraleon.DefaultParams(), true)
+}

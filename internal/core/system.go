@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// SystemConfig wires a full Paraleon deployment onto a simulated network.
+type SystemConfig struct {
+	// Interval is the monitor interval λ_MI (Table III: 1 ms).
+	Interval eventsim.Time
+	// Theta is the KL trigger threshold (0.01).
+	Theta float64
+	// Weights parameterize the utility function.
+	Weights Weights
+	// SA parameterizes the search.
+	SA SAConfig
+	// Agent selects the measurement design (Paraleon vs naive Elastic).
+	Agent monitor.AgentConfig
+	// ProbeEvery is the RTT probing period; 0 means Interval/4.
+	ProbeEvery eventsim.Time
+	// Seed fixes the tuner's mutation randomness.
+	Seed int64
+	// Sources, when non-nil, replaces the sketch agents as the
+	// controller's FSD inputs (NetFlow baseline, no-FSD ablation). The
+	// caller is responsible for any tap wiring they need.
+	Sources []monitor.ReportSource
+	// Scope, when non-nil, restricts the deployment to the racks under
+	// these ToRs: agents attach only there, runtime metrics cover only
+	// that scope, and dispatches go only to those devices (§V
+	// multi-cluster mode; see AttachPartitioned).
+	Scope []topology.NodeID
+}
+
+// DefaultSystemConfig mirrors Table III.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Interval: eventsim.Millisecond,
+		Theta:    0.01,
+		Weights:  DefaultWeights(),
+		SA:       DefaultSAConfig(),
+		Agent:    monitor.ParaleonAgentConfig(),
+		Seed:     1,
+	}
+}
+
+// System is the event-driven closed loop of Fig 1: agents measure, the
+// controller aggregates and triggers, the tuner searches, and new DCQCN
+// parameters are dispatched to every RNIC and switch.
+type System struct {
+	Net        *sim.Network
+	Tuner      *Tuner
+	Controller *monitor.Controller
+	Collector  *monitor.RuntimeCollector
+	Agents     []*monitor.SwitchAgent
+
+	interval eventsim.Time
+	probe    eventsim.Time
+	tickEv   eventsim.EventID
+	running  bool
+	// scope, when non-nil, restricts dispatch to these ToRs' clusters.
+	scope []topology.NodeID
+
+	// Dispatches counts parameter updates pushed to the network;
+	// LastSample is the most recent runtime measurement.
+	Dispatches int
+	LastSample monitor.RuntimeSample
+	// UtilityTrace records Utility(LastSample) each interval.
+	UtilityTrace []float64
+}
+
+// Attach builds a Paraleon deployment on net. The search starts from the
+// network's current parameter setting.
+func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("core: non-positive monitor interval")
+	}
+	tuner, err := NewTuner(cfg.SA, cfg.Weights, *net.RNICParams(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Net:      net,
+		Tuner:    tuner,
+		interval: cfg.Interval,
+		probe:    cfg.ProbeEvery,
+	}
+	if s.probe <= 0 {
+		s.probe = cfg.Interval / 4
+	}
+
+	scope := cfg.Scope
+	if scope == nil {
+		scope = net.Topo.ToRs()
+	}
+	s.scope = cfg.Scope
+	sources := cfg.Sources
+	if sources == nil {
+		for i, tor := range scope {
+			a := monitor.NewSwitchAgent(cfg.Agent, uint64(cfg.Seed)+uint64(i)+1)
+			a.Attach(net.Switch(tor))
+			s.Agents = append(s.Agents, a)
+			sources = append(sources, a)
+		}
+	}
+	s.Controller = monitor.NewController(cfg.Theta, sources...)
+	// A session runs to its temperature floor (Algorithm 1); KL spikes
+	// during an active search must not restart it, or noisy FSDs would
+	// pin the tuner at maximum temperature forever.
+	s.Controller.OnTrigger = func(fsd monitor.FSD) {
+		if !s.Tuner.Active() {
+			s.Tuner.Trigger(fsd)
+		}
+	}
+	s.Collector = monitor.NewScopedRuntimeCollector(net, scope)
+	return s, nil
+}
+
+// AttachPartitioned deploys one independent Paraleon instance per cluster
+// (a cluster being a group of ToRs with their racks), each tuning its own
+// devices with heterogeneous parameters — the §V answer to extreme-scale
+// RDMA clouds where one homogeneous setting cannot fit every cluster.
+// Seeds are derived per cluster so their searches differ.
+func AttachPartitioned(net *sim.Network, cfg SystemConfig, clusters [][]topology.NodeID) ([]*System, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("core: no clusters given")
+	}
+	systems := make([]*System, 0, len(clusters))
+	for i, tors := range clusters {
+		if len(tors) == 0 {
+			return nil, fmt.Errorf("core: cluster %d is empty", i)
+		}
+		ccfg := cfg
+		ccfg.Scope = tors
+		ccfg.Seed = cfg.Seed + int64(i)*1001
+		sys, err := Attach(net, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, sys)
+	}
+	return systems, nil
+}
+
+// Start arms probing and the recurring monitor-interval tick.
+func (s *System) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.Collector.StartProbing(s.probe)
+	s.armTick()
+}
+
+// Stop halts the loop (probing stays armed on hosts with active flows).
+func (s *System) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	s.Net.Eng.Cancel(s.tickEv)
+}
+
+// TriggerNow force-starts a tuning session with the current FSD,
+// regardless of the KL trigger (used by the no-FSD ablation and by
+// pretraining runs).
+func (s *System) TriggerNow() { s.Tuner.Trigger(s.Controller.Current) }
+
+func (s *System) armTick() {
+	s.tickEv = s.Net.Eng.After(s.interval, func() {
+		if !s.running {
+			return
+		}
+		s.tick()
+		s.armTick()
+	})
+}
+
+// TickOnce runs a single monitor interval synchronously. Harnesses that
+// drive the loop themselves (to interleave their own per-interval
+// sampling) use this instead of Start; the two modes must not be mixed.
+func (s *System) TickOnce() { s.tick() }
+
+// StartProbingOnly arms RTT probing without the recurring tick, for
+// TickOnce-driven deployments.
+func (s *System) StartProbingOnly() { s.Collector.StartProbing(s.probe) }
+
+// tick is one monitor interval: aggregate FSD (possibly triggering),
+// sample runtime metrics, advance the SA search, dispatch.
+func (s *System) tick() {
+	fsd := s.Controller.Tick()
+	sample := s.Collector.Sample(s.interval)
+	s.LastSample = sample
+	s.UtilityTrace = append(s.UtilityTrace, Utility(sample, s.Tuner.weights))
+	// Traffic-free intervals (OFF gaps) carry no tuning feedback: the
+	// idle network's perfect RTT/PFC readings would poison the search.
+	// Hold the search until traffic returns. (The no-FSD ablation has no
+	// sources, so its empty distribution cannot mean idleness.) The raw
+	// single-interval snapshot decides idleness; fsd itself is smoothed.
+	if len(s.Controller.Agents) > 0 && s.Controller.Raw.TotalBytes == 0 {
+		return
+	}
+	if p, ok := s.Tuner.Step(sample, fsd); ok {
+		if s.scope != nil {
+			s.Net.ApplyParamsToCluster(s.scope, p)
+		} else {
+			s.Net.ApplyParams(p)
+		}
+		s.Dispatches++
+	}
+}
+
+// Pretrain runs the closed loop against whatever workload the caller has
+// scheduled, for the given virtual duration, and returns the best
+// parameters found — the "Pretrained" static settings of Fig 9.
+func Pretrain(net *sim.Network, cfg SystemConfig, until eventsim.Time) (dcqcn.Params, error) {
+	s, err := Attach(net, cfg)
+	if err != nil {
+		return dcqcn.Params{}, err
+	}
+	s.Start()
+	net.Run(until)
+	s.Stop()
+	return s.Tuner.Best(), nil
+}

@@ -1,0 +1,81 @@
+package ctrlrpc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/dcqcn"
+)
+
+// Client is one agent's (or the tick driver's) connection to the
+// controller. Calls are synchronous request/response; a Client is not
+// safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// BytesIn and BytesOut count wire traffic for overhead accounting.
+	BytesIn, BytesOut int64
+}
+
+// Dial connects to a controller with a sane timeout.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(typ byte, msg any) (byte, []byte, error) {
+	n, err := WriteFrame(c.bw, typ, msg)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.BytesOut += int64(n)
+	rtyp, payload, rn, err := ReadFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.BytesIn += int64(rn)
+	return rtyp, payload, nil
+}
+
+// SendReport uploads one interval report and waits for the ack.
+func (c *Client) SendReport(r Report) error {
+	typ, _, err := c.roundTrip(TypeReport, &r)
+	if err != nil {
+		return err
+	}
+	if typ != TypeAck {
+		return fmt.Errorf("ctrlrpc: report answered with type %d, want ack", typ)
+	}
+	return nil
+}
+
+// Tick closes interval seq and returns the controller's parameter
+// decision.
+func (c *Client) Tick(seq uint64, interval time.Duration) (params dcqcn.Params, changed, triggered bool, err error) {
+	typ, payload, err := c.roundTrip(TypeTick, &TickMsg{Seq: seq, IntervalNanos: interval.Nanoseconds()})
+	if err != nil {
+		return dcqcn.Params{}, false, false, err
+	}
+	if typ != TypeParams {
+		return dcqcn.Params{}, false, false, fmt.Errorf("ctrlrpc: tick answered with type %d, want params", typ)
+	}
+	var resp ParamsMsg
+	if err := Decode(payload, &resp); err != nil {
+		return dcqcn.Params{}, false, false, err
+	}
+	return FromWire(resp.Params), resp.Changed, resp.Triggered, nil
+}

@@ -1,0 +1,252 @@
+package ctrlrpc
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcqcn"
+	"repro/internal/monitor"
+)
+
+func TestWireParamsRoundTrip(t *testing.T) {
+	for _, p := range []dcqcn.Params{dcqcn.DefaultParams(), dcqcn.ExpertParams()} {
+		got := FromWire(ToWire(p))
+		if got != p {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	r := Report{AgentID: 7, Seq: 42, ElephantBytes: 1000, Flows: 3}
+	r.Hist[5] = 123.5
+	n, err := WriteFrame(bw, TypeReport, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Errorf("reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	typ, payload, rn, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeReport || rn != n {
+		t.Errorf("type %d size %d, want %d/%d", typ, rn, TypeReport, n)
+	}
+	var got Report
+	if err := Decode(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("decoded %+v, want %+v", got, r)
+	}
+}
+
+func TestBodylessFrame(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if _, err := WriteFrame(bw, TypeAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeAck || len(payload) != 0 {
+		t.Errorf("ack frame: type %d payload %d bytes", typ, len(payload))
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var raw [5]byte
+	raw[0] = 0xFF
+	raw[1] = 0xFF
+	raw[2] = 0xFF // ~16MB
+	_, _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(raw[:])))
+	if err == nil {
+		t.Error("oversize frame accepted")
+	}
+}
+
+func TestQuickWireParamsRoundTrip(t *testing.T) {
+	f := func(ai, hai, g, pmax float64, kmin, kmax int64) bool {
+		p := dcqcn.DefaultParams()
+		p.AIRateBps, p.HAIRateBps, p.G, p.PMax = ai, hai, g, pmax
+		p.KminBytes, p.KmaxBytes = kmin, kmax
+		return FromWire(ToWire(p)) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := DefaultServerConfig()
+	cfg.SA = core.SAConfig{
+		TotalIterNum: 3, CoolingRate: 0.5,
+		InitialTemp: 30, FinalTemp: 10, Eta: 0.8, Guided: true,
+	}
+	s, err := Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func elephantReport(agent uint32, seq uint64) Report {
+	r := Report{
+		AgentID: agent, Seq: seq,
+		ElephantBytes: 9000, MiceBytes: 1000, Flows: 4,
+		UtilSum: 0.8, ActiveLinks: 1,
+		RTTNormSum: 0.9, RTTCount: 1,
+		PauseFracSum: 0, Devices: 2,
+	}
+	r.Hist[12] = 9000
+	r.Hist[0] = 1000
+	return r
+}
+
+func TestServerReportAndTick(t *testing.T) {
+	s := quickServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.SendReport(elephantReport(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	p, _, triggered, err := c.Tick(1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !triggered {
+		t.Error("first interval with traffic did not trigger tuning")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("returned params invalid: %v", err)
+	}
+	st := s.Stats()
+	if st.Reports != 1 || st.Ticks != 1 || st.Triggers != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Error("byte accounting empty")
+	}
+	if st.Processing <= 0 {
+		t.Error("processing time not recorded")
+	}
+}
+
+func TestServerSessionConverges(t *testing.T) {
+	s := quickServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var changes int
+	for seq := uint64(1); seq <= 20; seq++ {
+		if err := c.SendReport(elephantReport(1, seq)); err != nil {
+			t.Fatal(err)
+		}
+		_, changed, _, err := c.Tick(seq, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			changes++
+		}
+	}
+	// quickServer's session is ~7 iterations; dispatches must have
+	// happened and then stopped.
+	if changes < 5 {
+		t.Errorf("only %d parameter changes across a session", changes)
+	}
+	st := s.Stats()
+	if st.Dispatches != int64(changes) {
+		t.Errorf("server dispatches %d, client saw %d", st.Dispatches, changes)
+	}
+}
+
+func TestServerMultipleAgents(t *testing.T) {
+	s := quickServer(t)
+	const agents = 4
+	clients := make([]*Client, agents)
+	for i := range clients {
+		c, err := Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	driver, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	for seq := uint64(1); seq <= 3; seq++ {
+		for i, c := range clients {
+			if err := c.SendReport(elephantReport(uint32(i), seq)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, _, err := driver.Tick(seq, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Reports != agents*3 {
+		t.Errorf("Reports = %d, want %d", st.Reports, agents*3)
+	}
+}
+
+func TestServerRejectsGarbageConnection(t *testing.T) {
+	s := quickServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A giant bogus length must close the connection, not crash the
+	// server.
+	conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server answered a garbage frame")
+	}
+	conn.Close()
+	// Server still serves legitimate clients.
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendReport(elephantReport(1, 1)); err != nil {
+		t.Errorf("server unusable after garbage: %v", err)
+	}
+}
+
+func TestReportMonitorReport(t *testing.T) {
+	r := elephantReport(1, 1)
+	m := r.MonitorReport()
+	if m.ElephantBytes != 9000 || m.MiceBytes != 1000 || m.Flows != 4 {
+		t.Errorf("conversion lost fields: %+v", m)
+	}
+	fsd := monitor.Aggregate(m)
+	if fsd.ElephantShare != 0.9 {
+		t.Errorf("elephant share %g", fsd.ElephantShare)
+	}
+}

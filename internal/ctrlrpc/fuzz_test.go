@@ -1,0 +1,71 @@
+package ctrlrpc
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must never
+// panic and never allocate beyond MaxFrame.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with a valid frame and near-miss corruptions.
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	r := Report{AgentID: 1, Seq: 2}
+	if _, err := WriteFrame(bw, TypeReport, &r); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, TypeAck})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, TypeTick})
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 6 {
+		corrupt[5] ^= 0xFF
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, n, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("payload %d exceeds MaxFrame", len(payload))
+		}
+		if n != len(payload)+5 {
+			t.Fatalf("byte accounting wrong: n=%d payload=%d", n, len(payload))
+		}
+		// Decoding into the matching struct must not panic either.
+		switch typ {
+		case TypeReport:
+			var r Report
+			_ = Decode(payload, &r)
+		case TypeTick:
+			var tk TickMsg
+			_ = Decode(payload, &tk)
+		case TypeParams:
+			var p ParamsMsg
+			_ = Decode(payload, &p)
+		}
+	})
+}
+
+// FuzzWireParamsRoundTrip checks that any finite parameter vector
+// survives the wire encoding bit-exactly.
+func FuzzWireParamsRoundTrip(f *testing.F) {
+	f.Add(5e6, 50e6, 0.00390625, 0.2, int64(400<<10), int64(1600<<10), int64(300000), true)
+	f.Fuzz(func(t *testing.T, ai, hai, g, pmax float64, kmin, kmax, timeReset int64, clamp bool) {
+		p := FromWire(WireParams{
+			AIRateBps: ai, HAIRateBps: hai, G: g, PMax: pmax,
+			KminBytes: kmin, KmaxBytes: kmax, RPGTimeResetNs: timeReset,
+			ClampTgtRate: clamp,
+		})
+		got := FromWire(ToWire(p))
+		if got != p {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package ctrlrpc is the real control plane of the Paraleon prototype:
+// switch/RNIC agents upload per-interval metrics to the centralized
+// controller and receive DCQCN parameter updates back, over TCP with a
+// compact length-prefixed binary framing (the paper uses gRPC over TCP;
+// a hand-rolled frame keeps the reproduction dependency-free and makes
+// the Table IV byte accounting exact).
+//
+// Framing: uint32 little-endian payload length, one type byte, then the
+// fixed-layout payload encoded with encoding/binary. Payloads are capped
+// at MaxFrame to bound memory against misbehaving peers.
+package ctrlrpc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/monitor"
+)
+
+// MaxFrame bounds a frame payload.
+const MaxFrame = 64 << 10
+
+// Message types.
+const (
+	// TypeReport carries one agent's interval metrics (agent → controller).
+	TypeReport byte = 1
+	// TypeAck confirms a report (controller → agent).
+	TypeAck byte = 2
+	// TypeTick closes an interval and asks for parameters (driver →
+	// controller).
+	TypeTick byte = 3
+	// TypeParams answers a tick (controller → driver).
+	TypeParams byte = 4
+)
+
+// Report is one agent's contribution for one monitor interval: its local
+// flow-size distribution plus raw runtime-metric sums the controller
+// aggregates into Equation (1)'s inputs.
+type Report struct {
+	AgentID uint32
+	Seq     uint64
+
+	// Local FSD (mirrors monitor.Report).
+	Hist           [monitor.NumBuckets]float64
+	ElephantBytes  float64
+	MiceBytes      float64
+	ElephantFlowsW float64
+	MiceFlowsW     float64
+	Flows          int32
+
+	// Runtime metric contributions for this agent's scope.
+	UtilSum      float64
+	ActiveLinks  int32
+	RTTNormSum   float64
+	RTTCount     int64
+	PauseFracSum float64
+	Devices      int32
+}
+
+// MonitorReport converts the wire FSD fields back to a monitor.Report.
+func (r *Report) MonitorReport() monitor.Report {
+	var m monitor.Report
+	m.Hist = r.Hist
+	m.ElephantBytes = r.ElephantBytes
+	m.MiceBytes = r.MiceBytes
+	m.ElephantFlowsW = r.ElephantFlowsW
+	m.MiceFlowsW = r.MiceFlowsW
+	m.Flows = int(r.Flows)
+	return m
+}
+
+// TickMsg closes interval Seq; IntervalNanos is λ_MI for rate math.
+type TickMsg struct {
+	Seq           uint64
+	IntervalNanos int64
+}
+
+// ParamsMsg answers a tick with the setting to dispatch.
+type ParamsMsg struct {
+	Changed   bool
+	Triggered bool
+	Params    WireParams
+}
+
+// WireParams is dcqcn.Params with fixed-width fields for binary encoding.
+type WireParams struct {
+	AIRateBps               float64
+	HAIRateBps              float64
+	RPGTimeResetNs          int64
+	RPGByteReset            int64
+	RPGThreshold            int64
+	RateReduceMonitorNs     int64
+	MinRateBps              float64
+	ClampTgtRate            bool
+	G                       float64
+	AlphaUpdateIntervalNs   int64
+	InitialAlpha            float64
+	MinTimeBetweenCNPsNanos int64
+	KminBytes               int64
+	KmaxBytes               int64
+	PMax                    float64
+}
+
+// ToWire converts engine-typed params to the wire layout.
+func ToWire(p dcqcn.Params) WireParams {
+	return WireParams{
+		AIRateBps:               p.AIRateBps,
+		HAIRateBps:              p.HAIRateBps,
+		RPGTimeResetNs:          int64(p.RPGTimeReset),
+		RPGByteReset:            p.RPGByteReset,
+		RPGThreshold:            int64(p.RPGThreshold),
+		RateReduceMonitorNs:     int64(p.RateReduceMonitorPeriod),
+		MinRateBps:              p.MinRateBps,
+		ClampTgtRate:            p.ClampTgtRate,
+		G:                       p.G,
+		AlphaUpdateIntervalNs:   int64(p.AlphaUpdateInterval),
+		InitialAlpha:            p.InitialAlpha,
+		MinTimeBetweenCNPsNanos: int64(p.MinTimeBetweenCNPs),
+		KminBytes:               p.KminBytes,
+		KmaxBytes:               p.KmaxBytes,
+		PMax:                    p.PMax,
+	}
+}
+
+// FromWire converts back to engine-typed params.
+func FromWire(w WireParams) dcqcn.Params {
+	return dcqcn.Params{
+		AIRateBps:               w.AIRateBps,
+		HAIRateBps:              w.HAIRateBps,
+		RPGTimeReset:            eventsim.Time(w.RPGTimeResetNs),
+		RPGByteReset:            w.RPGByteReset,
+		RPGThreshold:            int(w.RPGThreshold),
+		RateReduceMonitorPeriod: eventsim.Time(w.RateReduceMonitorNs),
+		MinRateBps:              w.MinRateBps,
+		ClampTgtRate:            w.ClampTgtRate,
+		G:                       w.G,
+		AlphaUpdateInterval:     eventsim.Time(w.AlphaUpdateIntervalNs),
+		InitialAlpha:            w.InitialAlpha,
+		MinTimeBetweenCNPs:      eventsim.Time(w.MinTimeBetweenCNPsNanos),
+		KminBytes:               w.KminBytes,
+		KmaxBytes:               w.KmaxBytes,
+		PMax:                    w.PMax,
+	}
+}
+
+// WriteFrame encodes msg (a fixed-layout struct, or nil for bodyless
+// types) and writes one frame. It returns the bytes written.
+func WriteFrame(w *bufio.Writer, typ byte, msg any) (int, error) {
+	var body bytes.Buffer
+	if msg != nil {
+		if err := binary.Write(&body, binary.LittleEndian, msg); err != nil {
+			return 0, fmt.Errorf("ctrlrpc: encode type %d: %w", typ, err)
+		}
+	}
+	if body.Len() > MaxFrame {
+		return 0, fmt.Errorf("ctrlrpc: frame of %d bytes exceeds max %d", body.Len(), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(body.Len()))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return 0, err
+	}
+	return len(hdr) + body.Len(), w.Flush()
+}
+
+// ReadFrame reads one frame and returns its type and raw payload. The
+// returned byte count includes the header.
+func ReadFrame(r *bufio.Reader) (typ byte, payload []byte, n int, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:4])
+	if size > MaxFrame {
+		return 0, nil, 0, fmt.Errorf("ctrlrpc: frame of %d bytes exceeds max %d", size, MaxFrame)
+	}
+	payload = make([]byte, size)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, err
+	}
+	return hdr[4], payload, len(hdr) + int(size), nil
+}
+
+// Decode unmarshals a fixed-layout payload into out.
+func Decode(payload []byte, out any) error {
+	return binary.Read(bytes.NewReader(payload), binary.LittleEndian, out)
+}

@@ -1,0 +1,111 @@
+package ctrlrpc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dcqcn"
+)
+
+// ReconnClient wraps Client with automatic redial: controller restarts
+// (upgrades, crashes) must not take the monitoring agents down with
+// them. A failed call is retried once per fresh connection, up to
+// MaxRetries dials with RetryDelay between attempts.
+//
+// Retrying is safe by protocol design: reports are idempotent
+// accumulation (a lost report degrades one interval's FSD), and a tick
+// that reaches a freshly restarted controller simply aggregates whatever
+// reports arrived since.
+type ReconnClient struct {
+	addr string
+	c    *Client
+
+	// MaxRetries bounds dial attempts per call (default 5); RetryDelay
+	// spaces them (default 100 ms).
+	MaxRetries int
+	RetryDelay time.Duration
+
+	// Reconnects counts successful redials; BytesIn/BytesOut aggregate
+	// across connections.
+	Reconnects        int
+	BytesIn, BytesOut int64
+}
+
+// DialReconnecting connects to addr, verifying the controller is
+// reachable once.
+func DialReconnecting(addr string) (*ReconnClient, error) {
+	r := &ReconnClient{addr: addr, MaxRetries: 5, RetryDelay: 100 * time.Millisecond}
+	if err := r.redial(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *ReconnClient) redial() error {
+	if r.c != nil {
+		r.BytesIn += r.c.BytesIn
+		r.BytesOut += r.c.BytesOut
+		r.c.Close()
+		r.c = nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < r.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.RetryDelay)
+		}
+		c, err := Dial(r.addr)
+		if err == nil {
+			r.c = c
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("ctrlrpc: redial %s: %w", r.addr, lastErr)
+}
+
+// Close tears down the current connection.
+func (r *ReconnClient) Close() error {
+	if r.c == nil {
+		return nil
+	}
+	r.BytesIn += r.c.BytesIn
+	r.BytesOut += r.c.BytesOut
+	err := r.c.Close()
+	r.c = nil
+	return err
+}
+
+// SendReport uploads a report, redialing once on failure.
+func (r *ReconnClient) SendReport(rep Report) error {
+	if r.c == nil {
+		if err := r.redial(); err != nil {
+			return err
+		}
+	}
+	if err := r.c.SendReport(rep); err == nil {
+		return nil
+	}
+	if err := r.redial(); err != nil {
+		return err
+	}
+	r.Reconnects++
+	return r.c.SendReport(rep)
+}
+
+// Tick closes an interval, redialing once on failure.
+func (r *ReconnClient) Tick(seq uint64, interval time.Duration) (dcqcn.Params, bool, bool, error) {
+	if r.c == nil {
+		if err := r.redial(); err != nil {
+			return dcqcn.Params{}, false, false, err
+		}
+	}
+	p, changed, trig, err := r.c.Tick(seq, interval)
+	if err == nil {
+		return p, changed, trig, nil
+	}
+	if err := r.redial(); err != nil {
+		return dcqcn.Params{}, false, false, err
+	}
+	r.Reconnects++
+	return r.c.Tick(seq, interval)
+}

@@ -1,0 +1,94 @@
+package ctrlrpc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReconnClientSurvivesControllerRestart(t *testing.T) {
+	cfg := DefaultServerConfig()
+	s1, err := Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s1.Addr()
+
+	c, err := DialReconnecting(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.RetryDelay = 20 * time.Millisecond
+	c.MaxRetries = 25
+
+	if err := c.SendReport(elephantReport(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Tick(1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the controller, then bring a new one up on the same address.
+	s1.Close()
+	s2, err := Serve(addr, cfg)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer s2.Close()
+
+	// The next calls must go through via redial.
+	if err := c.SendReport(elephantReport(1, 2)); err != nil {
+		t.Fatalf("report after restart: %v", err)
+	}
+	p, _, _, err := c.Tick(2, time.Millisecond)
+	if err != nil {
+		t.Fatalf("tick after restart: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("params after restart invalid: %v", err)
+	}
+	if c.Reconnects == 0 {
+		t.Error("Reconnects counter never incremented")
+	}
+	if st := s2.Stats(); st.Reports == 0 {
+		t.Error("restarted controller saw no reports")
+	}
+}
+
+func TestReconnClientGivesUpEventually(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	c, err := DialReconnecting(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 2
+	c.RetryDelay = 10 * time.Millisecond
+	s.Close() // nothing will listen again
+	if err := c.SendReport(elephantReport(1, 1)); err == nil {
+		t.Error("report to a dead controller succeeded")
+	}
+}
+
+func TestReconnClientAggregatesBytes(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := DialReconnecting(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendReport(elephantReport(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if c.BytesOut == 0 || c.BytesIn == 0 {
+		t.Errorf("byte aggregation lost: in=%d out=%d", c.BytesIn, c.BytesOut)
+	}
+}

@@ -1,0 +1,292 @@
+package ctrlrpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcqcn"
+	"repro/internal/monitor"
+)
+
+// ServerConfig parameterizes the centralized controller.
+type ServerConfig struct {
+	// Theta is the KL trigger threshold.
+	Theta float64
+	// Weights and SA configure the tuner.
+	Weights core.Weights
+	SA      core.SAConfig
+	// Base is the initial parameter setting.
+	Base dcqcn.Params
+	// Seed fixes the tuner's randomness.
+	Seed int64
+	// Logger receives connection errors; nil silences them.
+	Logger *log.Logger
+}
+
+// DefaultServerConfig mirrors Table III.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Theta:   0.01,
+		Weights: core.DefaultWeights(),
+		SA:      core.DefaultSAConfig(),
+		Base:    dcqcn.DefaultParams(),
+		Seed:    1,
+	}
+}
+
+// ServerStats is Table IV's raw material.
+type ServerStats struct {
+	BytesIn, BytesOut int64
+	Reports           int64
+	Ticks             int64
+	Triggers          int64
+	Dispatches        int64
+	// Processing is wall-clock time spent in KL computation and SA
+	// tuning — the controller CPU overhead.
+	Processing time.Duration
+}
+
+// Server is the centralized controller: it accepts agent connections,
+// collects per-interval reports, aggregates the network-wide FSD, runs
+// the KL trigger and the SA tuner, and answers ticks with parameters.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	pending  []Report
+	prev     monitor.FSD
+	hasPrev  bool
+	smoother monitor.Smoother
+	tuner    *core.Tuner
+	current  dcqcn.Params
+	stats    ServerStats
+
+	wg     sync.WaitGroup
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+// Serve starts a controller on addr (e.g. "127.0.0.1:0") and returns once
+// it is listening.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	tuner, err := core.NewTuner(cfg.SA, cfg.Weights, cfg.Base, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, ln: ln, tuner: tuner, current: cfg.Base, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats snapshots the controller counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Current returns the parameters the controller currently stands behind.
+func (s *Server) Current() dcqcn.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
+
+// Close stops the listener, closes every live connection, and waits for
+// the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.logf("ctrlrpc: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, n, err := ReadFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("ctrlrpc: read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.mu.Lock()
+		s.stats.BytesIn += int64(n)
+		s.mu.Unlock()
+
+		var out int
+		switch typ {
+		case TypeReport:
+			var r Report
+			if err := Decode(payload, &r); err != nil {
+				s.logf("ctrlrpc: bad report: %v", err)
+				return
+			}
+			s.mu.Lock()
+			s.pending = append(s.pending, r)
+			s.stats.Reports++
+			s.mu.Unlock()
+			out, err = WriteFrame(bw, TypeAck, nil)
+		case TypeTick:
+			var t TickMsg
+			if err := Decode(payload, &t); err != nil {
+				s.logf("ctrlrpc: bad tick: %v", err)
+				return
+			}
+			resp := s.tick(t)
+			out, err = WriteFrame(bw, TypeParams, &resp)
+		default:
+			s.logf("ctrlrpc: unknown frame type %d", typ)
+			return
+		}
+		if err != nil {
+			s.logf("ctrlrpc: write to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+		s.mu.Lock()
+		s.stats.BytesOut += int64(out)
+		s.mu.Unlock()
+	}
+}
+
+// tick is the controller's per-interval brain: aggregate, trigger, tune.
+func (s *Server) tick(t TickMsg) ParamsMsg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.stats.Processing += time.Since(start) }()
+
+	reports := s.pending
+	s.pending = nil
+	s.stats.Ticks++
+
+	locals := make([]monitor.Report, 0, len(reports))
+	sample := monitor.RuntimeSample{ORTT: 1, OPFC: 1}
+	var utilSum, pauseSum float64
+	var links, devices int32
+	var rttSum float64
+	var rttCount int64
+	for i := range reports {
+		r := &reports[i]
+		locals = append(locals, r.MonitorReport())
+		utilSum += r.UtilSum
+		links += r.ActiveLinks
+		rttSum += r.RTTNormSum
+		rttCount += r.RTTCount
+		pauseSum += r.PauseFracSum
+		devices += r.Devices
+	}
+	if links > 0 {
+		sample.OTP = utilSum / float64(links)
+		sample.ActiveLinks = int(links)
+	}
+	if rttCount > 0 {
+		sample.ORTT = rttSum / float64(rttCount)
+		sample.RTTSamples = rttCount
+	}
+	if devices > 0 {
+		sample.OPFC = 1 - pauseSum/float64(devices)
+	}
+
+	raw := monitor.Aggregate(locals...)
+	resp := ParamsMsg{Params: ToWire(s.current)}
+	if raw.TotalBytes == 0 {
+		// Traffic-free interval: no distribution to compare, no feedback
+		// worth feeding the search (see monitor.Controller.Tick).
+		return resp
+	}
+	// Compare time-averaged distributions (see monitor.Smoother).
+	fsd := s.smoother.Update(raw)
+	triggered := false
+	if s.hasPrev && monitor.TriggerDivergence(fsd, s.prev) > s.cfg.Theta && !s.tuner.Active() {
+		s.tuner.Trigger(fsd)
+		s.stats.Triggers++
+		triggered = true
+	} else if !s.hasPrev {
+		// First interval with traffic: treat as a change from nothing.
+		s.tuner.Trigger(fsd)
+		s.stats.Triggers++
+		triggered = true
+	}
+	s.prev = fsd
+	s.hasPrev = true
+
+	if p, ok := s.tuner.Step(sample, fsd); ok {
+		s.current = p
+		s.stats.Dispatches++
+		resp.Changed = true
+		resp.Params = ToWire(p)
+	}
+	resp.Triggered = triggered
+	return resp
+}
+
+// String describes the server.
+func (s *Server) String() string {
+	return fmt.Sprintf("ctrlrpc.Server(%s)", s.Addr())
+}

@@ -1,0 +1,36 @@
+package dcqcn
+
+import "repro/internal/eventsim"
+
+// NP is the Notification Point state for one flow at the receiver RNIC: it
+// converts ECN-marked data packets into CNPs, pacing them so at most one
+// CNP per min_time_between_cnps leaves for a given flow.
+type NP struct {
+	params func() *Params
+
+	lastCNP eventsim.Time
+	everCNP bool
+
+	// Marked counts ECN-marked packets observed; CNPs counts
+	// notifications actually emitted.
+	Marked, CNPs int
+}
+
+// NewNP returns a notification point reading live parameters via params.
+func NewNP(params func() *Params) *NP {
+	return &NP{params: params}
+}
+
+// OnECNMarked records an ECN-marked arrival at virtual time now and
+// reports whether a CNP should be sent back to the flow's RP.
+func (np *NP) OnECNMarked(now eventsim.Time) bool {
+	np.Marked++
+	p := np.params()
+	if np.everCNP && now-np.lastCNP < p.MinTimeBetweenCNPs {
+		return false
+	}
+	np.lastCNP = now
+	np.everCNP = true
+	np.CNPs++
+	return true
+}

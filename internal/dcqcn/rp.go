@@ -1,0 +1,185 @@
+package dcqcn
+
+import (
+	"math"
+
+	"repro/internal/eventsim"
+)
+
+// RP is the Reaction Point state machine for one QP: the sender-side AIMD
+// loop of DCQCN. It owns two recurring timers (the rate-increase timer and
+// the alpha-decay timer) on the simulation engine while started.
+//
+// Parameters are read through a func so that a centralized tuner can swap
+// the live Params without touching every QP: the next timer or CNP simply
+// observes the new values.
+type RP struct {
+	eng    *eventsim.Engine
+	params func() *Params
+
+	lineRateBps float64
+
+	rc, rt float64 // current and target rate, bps
+	alpha  float64
+
+	bcStage, tStage int   // byte-counter and timer stages since last cut
+	byteCounter     int64 // bytes toward the next byte-counter stage
+	hyperCount      int   // consecutive hyper-increase events
+
+	lastCut           eventsim.Time
+	everCut           bool
+	cnpSinceAlpha     bool
+	increasedSinceCut bool
+
+	timerEv, alphaEv eventsim.EventID
+	running          bool
+
+	// Cuts and Increases count rate-decrease and rate-increase events;
+	// exported for tests and overhead accounting.
+	Cuts, Increases int
+}
+
+// NewRP returns a reaction point sending at line rate with alpha seeded
+// from the current parameters. params must never return nil.
+func NewRP(eng *eventsim.Engine, params func() *Params, lineRateBps float64) *RP {
+	p := params()
+	return &RP{
+		eng:         eng,
+		params:      params,
+		lineRateBps: lineRateBps,
+		rc:          lineRateBps,
+		rt:          lineRateBps,
+		alpha:       p.InitialAlpha,
+	}
+}
+
+// Rate reports the current sending rate in bps.
+func (rp *RP) Rate() float64 { return rp.rc }
+
+// TargetRate reports the target rate in bps.
+func (rp *RP) TargetRate() float64 { return rp.rt }
+
+// Alpha reports the congestion estimate.
+func (rp *RP) Alpha() float64 { return rp.alpha }
+
+// Running reports whether the RP timers are armed.
+func (rp *RP) Running() bool { return rp.running }
+
+// Start arms the increase and alpha timers. It is idempotent.
+func (rp *RP) Start() {
+	if rp.running {
+		return
+	}
+	rp.running = true
+	rp.armIncreaseTimer()
+	rp.armAlphaTimer()
+}
+
+// Stop cancels the timers; the QP went idle or its flow finished.
+func (rp *RP) Stop() {
+	if !rp.running {
+		return
+	}
+	rp.running = false
+	rp.eng.Cancel(rp.timerEv)
+	rp.eng.Cancel(rp.alphaEv)
+}
+
+func (rp *RP) armIncreaseTimer() {
+	p := rp.params()
+	rp.timerEv = rp.eng.After(p.RPGTimeReset, func() {
+		if !rp.running {
+			return
+		}
+		rp.tStage++
+		rp.increaseEvent()
+		rp.armIncreaseTimer()
+	})
+}
+
+func (rp *RP) armAlphaTimer() {
+	p := rp.params()
+	rp.alphaEv = rp.eng.After(p.AlphaUpdateInterval, func() {
+		if !rp.running {
+			return
+		}
+		if !rp.cnpSinceAlpha {
+			rp.alpha *= 1 - rp.params().G
+		}
+		rp.cnpSinceAlpha = false
+		rp.armAlphaTimer()
+	})
+}
+
+// OnCNP handles a congestion notification from the NP. The alpha estimate
+// rises immediately; the multiplicative cut is throttled by
+// rate_reduce_monitor_period.
+func (rp *RP) OnCNP() {
+	p := rp.params()
+	rp.cnpSinceAlpha = true
+	rp.alpha = (1-p.G)*rp.alpha + p.G
+	now := rp.eng.Now()
+	if rp.everCut && now-rp.lastCut < p.RateReduceMonitorPeriod {
+		return
+	}
+	// Cut. clamp_tgt_rate pulls the target down every time; otherwise the
+	// target only resets if the rate has climbed since the last cut, so a
+	// stable flow can spring back to its old target quickly.
+	if p.ClampTgtRate || rp.increasedSinceCut {
+		rp.rt = rp.rc
+	}
+	rp.rc = math.Max(p.MinRateBps, rp.rc*(1-rp.alpha/2))
+	rp.lastCut = now
+	rp.everCut = true
+	rp.increasedSinceCut = false
+	rp.bcStage, rp.tStage = 0, 0
+	rp.byteCounter = 0
+	rp.hyperCount = 0
+	rp.Cuts++
+	// The DCQCN increase timer restarts on a cut.
+	if rp.running {
+		rp.eng.Cancel(rp.timerEv)
+		rp.armIncreaseTimer()
+	}
+}
+
+// OnBytesSent credits transmitted bytes toward byte-counter stages. The
+// caller invokes it per packet.
+func (rp *RP) OnBytesSent(n int64) {
+	p := rp.params()
+	rp.byteCounter += n
+	for rp.byteCounter >= p.RPGByteReset {
+		rp.byteCounter -= p.RPGByteReset
+		rp.bcStage++
+		rp.increaseEvent()
+	}
+}
+
+// increaseEvent applies one DCQCN rate-increase step: fast recovery while
+// both stage counters are below F, hyper increase once both are at or
+// beyond F, additive increase otherwise.
+func (rp *RP) increaseEvent() {
+	p := rp.params()
+	f := p.RPGThreshold
+	switch {
+	case rp.bcStage < f && rp.tStage < f:
+		// Fast recovery: halve toward the target.
+	case rp.bcStage >= f && rp.tStage >= f:
+		rp.hyperCount++
+		rp.rt += float64(rp.hyperCount) * p.HAIRateBps
+	default:
+		rp.rt += p.AIRateBps
+	}
+	if rp.rt > rp.lineRateBps {
+		rp.rt = rp.lineRateBps
+	}
+	rp.rc = (rp.rc + rp.rt) / 2
+	if rp.rc > rp.lineRateBps {
+		rp.rc = rp.lineRateBps
+	}
+	if rp.rc < p.MinRateBps {
+		rp.rc = p.MinRateBps
+	}
+	rp.increasedSinceCut = true
+	rp.Increases++
+}

@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Scale fixes the fabric and cadence an experiment runs at. The paper's
+// NS-3 setup is PaperScale; QuickScale shrinks the fabric so every
+// experiment runs in seconds on one core while preserving the 4:1
+// over-subscription that creates the contention under study.
+type Scale struct {
+	Net      sim.Config
+	Interval eventsim.Time
+}
+
+// QuickScale is the default reproduction fabric: 2 racks × 4 hosts at
+// 10 Gbps, 4:1 over-subscribed, λ_MI = 1 ms.
+func QuickScale() Scale {
+	cfg := sim.DefaultConfig()
+	cfg.Clos = topology.ClosConfig{
+		NumToR: 2, NumLeaf: 1, HostsPerToR: 4,
+		HostLinkBps: 10e9, FabricLinkBps: 10e9,
+		PropDelay: 2 * eventsim.Microsecond,
+	}
+	return Scale{Net: cfg, Interval: eventsim.Millisecond}
+}
+
+// MediumScale is a 4-rack fabric for the macro experiments.
+func MediumScale() Scale {
+	cfg := sim.DefaultConfig()
+	cfg.Clos = topology.ClosConfig{
+		NumToR: 4, NumLeaf: 2, HostsPerToR: 4,
+		HostLinkBps: 10e9, FabricLinkBps: 20e9,
+		PropDelay: 2 * eventsim.Microsecond,
+	}
+	return Scale{Net: cfg, Interval: eventsim.Millisecond}
+}
+
+// PaperScale is the §IV-B topology: 8 ToRs, 4 leaves, 128 hosts, 100 Gbps.
+func PaperScale() Scale {
+	cfg := sim.DefaultConfig()
+	cfg.Clos = topology.PaperClosConfig()
+	return Scale{Net: cfg, Interval: eventsim.Millisecond}
+}
+
+// --- Table II: alltoall bandwidth, default vs expert ---
+
+// Table2Row is one message-size column of Table II.
+type Table2Row struct {
+	TotalPerRankMB int
+	// AlgBwGBs maps scheme name to per-rank algorithm bandwidth, the
+	// NCCL-Tests "algbw" analogue: bytes-per-rank / round time.
+	AlgBwGBs map[string]float64
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Workers int
+	Rows    []Table2Row
+}
+
+// Table2 runs one alltoall round per (scheme, size) and reports algbw.
+// Sizes are per-rank totals in MB; workers bounds the collective width.
+func Table2(scale Scale, workers int, sizesMB []int) (*Table2Result, error) {
+	schemes := []Scheme{DefaultScheme(), ExpertScheme()}
+	res := &Table2Result{Workers: workers}
+	for _, mb := range sizesMB {
+		row := Table2Row{TotalPerRankMB: mb, AlgBwGBs: map[string]float64{}}
+		for _, sc := range schemes {
+			netCfg := scale.Net
+			netCfg.Params = sc.Static
+			n, err := sim.New(netCfg)
+			if err != nil {
+				return nil, err
+			}
+			ws := res.Workers
+			if ws > len(n.Topo.Hosts()) {
+				ws = len(n.Topo.Hosts())
+			}
+			perPair := int64(mb) << 20 / int64(ws-1)
+			g, err := workload.InstallAlltoall(n, workload.AlltoallConfig{
+				Workers:      n.Topo.Hosts()[:ws],
+				MessageBytes: perPair,
+				Rounds:       1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n.RunUntilIdle(60 * eventsim.Second)
+			if g.RoundsDone != 1 {
+				return nil, fmt.Errorf("table2: %s at %dMB: round incomplete", sc.Name, mb)
+			}
+			perRankBytes := float64(int64(ws-1) * perPair)
+			row.AlgBwGBs[sc.Name] = perRankBytes / g.RoundDurations[0].Seconds() / 1e9
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fprint renders the table.
+func (r *Table2Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Table II: %dx%d alltoall algbw (GB/s) per rank\n", r.Workers, r.Workers)
+	fmt.Fprintf(w, "%-10s", "size(MB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d", row.TotalPerRankMB)
+	}
+	fmt.Fprintln(w)
+	for _, name := range []string{"default", "expert"} {
+		fmt.Fprintf(w, "%-10s", name)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "%10.2f", row.AlgBwGBs[name])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --- Fig 5: single-parameter impacts ---
+
+// SweepPoint is one setting of one parameter and its measured outcome.
+type SweepPoint struct {
+	Value float64
+	// TP is mean link utilization; RTTNorm mean normalized RTT (higher
+	// is lower delay).
+	TP, RTTNorm float64
+}
+
+// Fig5Result maps parameter name → sweep curve.
+type Fig5Result struct {
+	Curves map[string][]SweepPoint
+	Order  []string
+}
+
+// fig5Sweeps returns the paper's four representative parameters with
+// sweep values sized for 10 Gbps fabrics.
+func fig5Sweeps() (names []string, values map[string][]float64) {
+	us := float64(eventsim.Microsecond)
+	kb := float64(1 << 10)
+	values = map[string][]float64{
+		"hai_rate":                   {50e6, 150e6, 300e6, 600e6, 1200e6},
+		"rate_reduce_monitor_period": {4 * us, 20 * us, 50 * us, 100 * us, 200 * us},
+		"rpg_time_reset":             {50 * us, 100 * us, 300 * us, 600 * us, 1200 * us},
+		"kmax":                       {400 * kb, 800 * kb, 1600 * kb, 3200 * kb, 6400 * kb},
+	}
+	names = []string{"hai_rate", "rate_reduce_monitor_period", "rpg_time_reset", "kmax"}
+	return names, values
+}
+
+// measureUnder runs an alltoall under fixed params and reports the mean
+// runtime metrics over the horizon.
+func measureUnder(scale Scale, p dcqcn.Params, workers int, msg int64, horizon eventsim.Time) (tp, rtt float64, err error) {
+	r, err := Run(RunConfig{
+		Net:      scale.Net,
+		Scheme:   StaticScheme("probe", p),
+		Interval: scale.Interval,
+		Duration: horizon,
+		Workload: func(n *sim.Network) error {
+			_, err := workload.InstallAlltoall(n, workload.AlltoallConfig{
+				Workers:      n.Topo.Hosts()[:workers],
+				MessageBytes: msg,
+				OffTime:      eventsim.Millisecond,
+			})
+			return err
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return metrics.Mean(r.TP.Values), metrics.Mean(r.RTT.Values), nil
+}
+
+// Fig5 sweeps each representative parameter one at a time (others at
+// defaults) under a sustained alltoall, reproducing the single-parameter
+// impact study.
+func Fig5(scale Scale, horizon eventsim.Time) (*Fig5Result, error) {
+	names, values := fig5Sweeps()
+	res := &Fig5Result{Curves: map[string][]SweepPoint{}, Order: names}
+	workers := 6
+	msg := int64(2 << 20)
+	for _, name := range names {
+		spec := dcqcn.SpecByName(name)
+		if spec == nil {
+			return nil, fmt.Errorf("fig5: unknown parameter %q", name)
+		}
+		for _, v := range values[name] {
+			p := dcqcn.DefaultParams()
+			spec.Set(&p, spec.Clamp(v))
+			if p.KmaxBytes <= p.KminBytes {
+				p.KminBytes = p.KmaxBytes / 4
+			}
+			tp, rtt, err := measureUnder(scale, p, workers, msg, horizon)
+			if err != nil {
+				return nil, err
+			}
+			res.Curves[name] = append(res.Curves[name], SweepPoint{Value: v, TP: tp, RTTNorm: rtt})
+		}
+	}
+	return res, nil
+}
+
+// Fprint renders the sweep curves.
+func (r *Fig5Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Fig 5: single-parameter impacts (mean link utilization / mean normalized RTT)")
+	for _, name := range r.Order {
+		fmt.Fprintf(w, "  %s:\n", name)
+		for _, pt := range r.Curves[name] {
+			fmt.Fprintf(w, "    value=%-14.4g TP=%.3f RTTnorm=%.3f\n", pt.Value, pt.TP, pt.RTTNorm)
+		}
+	}
+}
+
+// --- Fig 6: inter-parameter impacts ---
+
+// Fig6Result is the 2-D (rpg_time_reset × kmax) response surface.
+type Fig6Result struct {
+	TimeResets []float64
+	Kmaxes     []float64
+	// TP[i][j] and RTT[i][j] index TimeResets[i] × Kmaxes[j].
+	TP  [][]float64
+	RTT [][]float64
+}
+
+// Fig6 sweeps rpg_time_reset and Kmax jointly, exposing the
+// non-monotonic inter-parameter surface of §III-C.
+func Fig6(scale Scale, horizon eventsim.Time) (*Fig6Result, error) {
+	us := float64(eventsim.Microsecond)
+	kb := float64(1 << 10)
+	res := &Fig6Result{
+		TimeResets: []float64{50 * us, 150 * us, 450 * us, 1350 * us},
+		Kmaxes:     []float64{400 * kb, 1200 * kb, 3600 * kb, 7200 * kb},
+	}
+	workers := 6
+	msg := int64(2 << 20)
+	for _, tr := range res.TimeResets {
+		var tpRow, rttRow []float64
+		for _, km := range res.Kmaxes {
+			p := dcqcn.DefaultParams()
+			p.RPGTimeReset = eventsim.Time(tr)
+			p.KmaxBytes = int64(km)
+			if p.KminBytes >= p.KmaxBytes {
+				p.KminBytes = p.KmaxBytes / 4
+			}
+			tp, rtt, err := measureUnder(scale, p, workers, msg, horizon)
+			if err != nil {
+				return nil, err
+			}
+			tpRow = append(tpRow, tp)
+			rttRow = append(rttRow, rtt)
+		}
+		res.TP = append(res.TP, tpRow)
+		res.RTT = append(res.RTT, rttRow)
+	}
+	return res, nil
+}
+
+// Fprint renders both response surfaces.
+func (r *Fig6Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Fig 6: inter-parameter impacts (rows: rpg_time_reset us, cols: Kmax KB)")
+	header := func() {
+		fmt.Fprintf(w, "%12s", "")
+		for _, km := range r.Kmaxes {
+			fmt.Fprintf(w, "%10.0f", km/1024)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, " throughput (mean utilization):")
+	header()
+	for i, tr := range r.TimeResets {
+		fmt.Fprintf(w, "%12.0f", tr/float64(eventsim.Microsecond))
+		for _, v := range r.TP[i] {
+			fmt.Fprintf(w, "%10.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, " normalized RTT (higher = lower delay):")
+	header()
+	for i, tr := range r.TimeResets {
+		fmt.Fprintf(w, "%12.0f", tr/float64(eventsim.Microsecond))
+		for _, v := range r.RTT[i] {
+			fmt.Fprintf(w, "%10.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

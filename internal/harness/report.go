@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// WriteCSVs exports each scheme's influx timeline (throughput and
+// normalized RTT per monitor interval) as <dir>/<prefix>_<scheme>.csv.
+func (r *InfluxResult) WriteCSVs(dir, prefix string) error {
+	return writeSchemeSeries(dir, prefix, r.Order, r.TP, r.RTT)
+}
+
+// WriteCSVs exports the testbed influx timelines the same way.
+func (r *Fig14Result) WriteCSVs(dir, prefix string) error {
+	return writeSchemeSeries(dir, prefix, r.Order, r.TP, r.RTT)
+}
+
+func writeSchemeSeries(dir, prefix string, order []string, tp, rtt map[string]*metrics.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range order {
+		t, rt := tp[name], rtt[name]
+		t.Name, rt.Name = "tp", "rttnorm"
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", prefix, name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteSeriesCSV(f, t, rt); err != nil {
+			f.Close()
+			return fmt.Errorf("harness: write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCDFCSVs exports each (worker count, scheme) FCT CDF as
+// <dir>/<prefix>_<workers>w_<scheme>.csv.
+func (r *Fig7LLMResult) WriteCDFCSVs(dir, prefix string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, wc := range r.WorkerCounts {
+		for _, name := range r.Order {
+			path := filepath.Join(dir, fmt.Sprintf("%s_%dw_%s.csv", prefix, wc, name))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := metrics.WriteCDFCSV(f, r.CDFs[wc][name]); err != nil {
+				f.Close()
+				return fmt.Errorf("harness: write %s: %w", path, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

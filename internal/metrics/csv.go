@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSeriesCSV exports one or more time series as CSV with a shared
+// time column (milliseconds). Series must be aligned: same length and
+// sample times (which the harness guarantees for series from one run).
+func WriteSeriesCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series")
+	}
+	n := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() != n {
+			return fmt.Errorf("metrics: series %q has %d samples, want %d", s.Name, s.Len(), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "t_ms")
+	for i, s := range series {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series%d", i)
+		}
+		header = append(header, name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		row[0] = strconv.FormatFloat(series[0].Times[i].Millis(), 'f', 3, 64)
+		for j, s := range series {
+			if s.Times[i] != series[0].Times[i] {
+				return fmt.Errorf("metrics: series %q misaligned at sample %d", s.Name, i)
+			}
+			row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFCSV exports an empirical CDF.
+func WriteCDFCSV(w io.Writer, points []CDFPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "p"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(pt.X, 'g', -1, 64),
+			strconv.FormatFloat(pt.P, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

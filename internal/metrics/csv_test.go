@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/eventsim"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	a := &Series{Name: "tp"}
+	b := &Series{Name: "rtt"}
+	for i := 1; i <= 3; i++ {
+		at := eventsim.Time(i) * eventsim.Millisecond
+		a.Append(at, float64(i)/10)
+		b.Append(at, 1-float64(i)/10)
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header+3", len(lines))
+	}
+	if lines[0] != "t_ms,tp,rtt" {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.000,0.1,0.9") {
+		t.Errorf("row 1 %q", lines[1])
+	}
+}
+
+func TestWriteSeriesCSVValidation(t *testing.T) {
+	if err := WriteSeriesCSV(&bytes.Buffer{}); err == nil {
+		t.Error("no series accepted")
+	}
+	a := &Series{Name: "a"}
+	a.Append(eventsim.Millisecond, 1)
+	b := &Series{Name: "b"}
+	if err := WriteSeriesCSV(&bytes.Buffer{}, a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	c := &Series{Name: "c"}
+	c.Append(2*eventsim.Millisecond, 1)
+	if err := WriteSeriesCSV(&bytes.Buffer{}, a, c); err == nil {
+		t.Error("time misalignment accepted")
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCDFCSV(&buf, []CDFPoint{{X: 1.5, P: 0.5}, {X: 2, P: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,p\n1.5,0.5\n2,1\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,77 @@
+package monitor
+
+// Controller is the centralized aggregation point: every monitor interval
+// it collects local reports from all agents, merges them into the
+// network-wide FSD, and fires the tuning trigger when the KL divergence
+// between successive distributions exceeds θ.
+type Controller struct {
+	// Agents are the per-ToR report sources.
+	Agents []ReportSource
+	// Theta is the KL trigger threshold (Table III: 0.01).
+	Theta float64
+	// OnTrigger, if set, fires when traffic changed significantly.
+	OnTrigger func(FSD)
+
+	prev     FSD
+	hasPrev  bool
+	smoother Smoother
+
+	// Current is the smoothed network-wide FSD (see Smoother); Raw is
+	// the latest single-interval snapshot.
+	Current FSD
+	Raw     FSD
+	// Ticks and Triggers count intervals and trigger firings.
+	Ticks    int
+	Triggers int
+	// LastKL is the divergence computed at the most recent tick.
+	LastKL float64
+}
+
+// NewController wires agents with trigger threshold theta.
+func NewController(theta float64, agents ...ReportSource) *Controller {
+	return &Controller{Agents: agents, Theta: theta}
+}
+
+// Tick closes one monitor interval: gather, aggregate, compare, maybe
+// trigger. It returns the fresh network-wide FSD.
+//
+// Traffic-free intervals (the OFF gaps of an ON/OFF workload) are not
+// treated as a traffic-pattern change: silence carries no distribution to
+// adapt to, and comparing against it would re-trigger tuning at every
+// round boundary. The previous distribution is kept until traffic
+// reappears.
+func (c *Controller) Tick() FSD {
+	locals := make([]Report, len(c.Agents))
+	for i, a := range c.Agents {
+		locals[i] = a.EndInterval()
+	}
+	raw := Aggregate(locals...)
+	c.Ticks++
+	c.LastKL = 0
+	c.Raw = raw
+	if raw.TotalBytes == 0 {
+		c.Current = c.smoother.Update(raw) // no-op; keeps the average
+		return c.Current
+	}
+	fsd := c.smoother.Update(raw)
+	c.Current = fsd
+	if c.hasPrev {
+		c.LastKL = TriggerDivergence(fsd, c.prev)
+		if c.LastKL > c.Theta {
+			c.Triggers++
+			if c.OnTrigger != nil {
+				c.OnTrigger(fsd)
+			}
+		}
+	} else {
+		// First traffic ever observed: the change from silence is a
+		// pattern change by definition.
+		c.Triggers++
+		if c.OnTrigger != nil {
+			c.OnTrigger(fsd)
+		}
+	}
+	c.prev = fsd
+	c.hasPrev = true
+	return fsd
+}

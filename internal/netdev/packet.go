@@ -1,0 +1,139 @@
+// Package netdev models the RoCEv2 data plane: packets, rate-limited
+// egress ports with priority queues, PFC PAUSE/RESUME, and shared-buffer
+// switches that ECN-mark per the DCQCN CP law.
+//
+// Modeling conventions (matching common NS-3 RDMA models):
+//
+//   - Two traffic classes share each link: class 0 carries RDMA data and
+//     is lossless (PFC-protected, ECN-marked); class 1 carries CNPs and
+//     probe replies with strict priority and is neither marked nor paused.
+//   - PFC frames are MAC control frames: they bypass egress queues and
+//     occupy the wire only for their 64-byte serialization.
+//   - ECN marking happens at dequeue against the instantaneous class-0
+//     egress queue depth.
+package netdev
+
+import (
+	"repro/internal/eventsim"
+	"repro/internal/topology"
+)
+
+// Traffic classes.
+const (
+	// ClassData is lossless RDMA traffic: PFC-paused and ECN-marked.
+	ClassData = 0
+	// ClassCtrl is strict-priority control traffic (CNPs, probe replies).
+	ClassCtrl = 1
+	// NumClasses is the number of per-port queues.
+	NumClasses = 2
+)
+
+// Kind discriminates packet roles.
+type Kind uint8
+
+const (
+	// KindData is a segment of an RDMA message.
+	KindData Kind = iota
+	// KindCNP is a DCQCN congestion notification (NP → RP).
+	KindCNP
+	// KindProbe is an RTT probe riding the data class.
+	KindProbe
+	// KindProbeReply answers a probe on the control class.
+	KindProbeReply
+	// KindPFC is a PAUSE/RESUME control frame.
+	KindPFC
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindCNP:
+		return "cnp"
+	case KindProbe:
+		return "probe"
+	case KindProbeReply:
+		return "probe-reply"
+	case KindPFC:
+		return "pfc"
+	default:
+		return "unknown"
+	}
+}
+
+// Wire sizes in bytes.
+const (
+	// HeaderBytes is the per-packet overhead (Ethernet + IP + UDP + BTH).
+	HeaderBytes = 48
+	// DefaultMTU is the RoCE payload size per data packet.
+	DefaultMTU = 1000
+	// CtrlFrameBytes is the wire size of CNPs, probes, and PFC frames.
+	CtrlFrameBytes = 64
+)
+
+// Packet is one frame in flight. Packets are allocated per segment and
+// passed by pointer; devices must not retain them after forwarding.
+type Packet struct {
+	Kind   Kind
+	FlowID uint64
+	Src    topology.NodeID
+	Dst    topology.NodeID
+
+	// Seq is the first payload byte's offset within the message.
+	Seq int64
+	// PayloadBytes is the RDMA payload carried; WireBytes includes headers.
+	PayloadBytes int
+	WireBytes    int
+
+	Class int
+
+	// ECNMarked is the CE codepoint set by a congested switch.
+	ECNMarked bool
+	// TOSMarked is Paraleon's "inserted into a sketch already" bit
+	// (Keypoint 1, §III-B).
+	TOSMarked bool
+	// Last marks the final segment of a message.
+	Last bool
+
+	// SentAt is stamped by the sender for RTT measurement.
+	SentAt eventsim.Time
+
+	// PFC fields (KindPFC only): pause or resume for PauseClass.
+	Pause      bool
+	PauseClass int
+}
+
+// NewDataPacket builds a data segment of a flow.
+func NewDataPacket(flow uint64, src, dst topology.NodeID, seq int64, payload int, last bool) *Packet {
+	return &Packet{
+		Kind: KindData, FlowID: flow, Src: src, Dst: dst,
+		Seq: seq, PayloadBytes: payload, WireBytes: payload + HeaderBytes,
+		Class: ClassData, Last: last,
+	}
+}
+
+// NewCNP builds a congestion notification for flow, sent from the NP back
+// to the RP (src is the NP's host).
+func NewCNP(flow uint64, src, dst topology.NodeID) *Packet {
+	return &Packet{
+		Kind: KindCNP, FlowID: flow, Src: src, Dst: dst,
+		WireBytes: CtrlFrameBytes, Class: ClassCtrl,
+	}
+}
+
+// Device is anything that terminates a link: a switch or a host RNIC.
+// Receive is invoked by the engine when a packet fully arrives on the
+// device's local port inPort.
+type Device interface {
+	Receive(pkt *Packet, inPort int)
+}
+
+// ecmpHash mixes a flow ID into a uniform 64-bit value (splitmix64 final
+// avalanche), used to pick among equal-cost next hops so a flow sticks to
+// one path.
+func ecmpHash(flow uint64, salt uint64) uint64 {
+	z := flow + salt + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,267 @@
+package netdev
+
+import (
+	"math/rand"
+
+	"repro/internal/eventsim"
+)
+
+// queueEntry holds a queued packet plus the ingress port it came in on, so
+// the owning switch can release ingress PFC accounting when it leaves.
+type queueEntry struct {
+	pkt    *Packet
+	inPort int
+}
+
+// fifo is a slice-backed FIFO with O(1) amortized operations and byte
+// accounting.
+type fifo struct {
+	entries []queueEntry
+	head    int
+	bytes   int64
+}
+
+func (q *fifo) push(e queueEntry) {
+	q.entries = append(q.entries, e)
+	q.bytes += int64(e.pkt.WireBytes)
+}
+
+func (q *fifo) pop() (queueEntry, bool) {
+	if q.head >= len(q.entries) {
+		return queueEntry{}, false
+	}
+	e := q.entries[q.head]
+	q.entries[q.head] = queueEntry{}
+	q.head++
+	q.bytes -= int64(e.pkt.WireBytes)
+	if q.head == len(q.entries) {
+		q.entries = q.entries[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
+	return e, true
+}
+
+func (q *fifo) empty() bool { return q.head >= len(q.entries) }
+
+// PortStats are cumulative egress counters.
+type PortStats struct {
+	TxPackets, TxBytes   int64 // all classes
+	TxDataBytes          int64 // class 0 only
+	ECNMarked            int64
+	PFCSent, PFCReceived int64
+}
+
+// EgressPort is one direction of a link: priority queues, a transmitter
+// that serializes at line rate, optional ECN marking, and PFC pause state.
+// Both switches and host RNICs transmit through EgressPorts.
+type EgressPort struct {
+	eng     *eventsim.Engine
+	rateBps float64
+	prop    eventsim.Time
+	rng     *rand.Rand
+
+	peer     Device
+	peerPort int
+
+	queues [NumClasses]fifo
+	busy   bool
+	paused [NumClasses]bool
+
+	// marker returns the ECN mark probability for a class-0 queue depth;
+	// nil disables marking (host ports).
+	marker func(queueBytes int64) float64
+
+	// onDeparted, if set, is called when a packet finishes serializing
+	// and leaves the device, with the ingress port it was admitted on
+	// (−1 for locally generated traffic). Switches release shared-buffer
+	// and ingress accounting here; hosts restart their flow scheduler.
+	onDeparted func(pkt *Packet, inPort int)
+	// onResume, if set, is called when a PFC RESUME unpauses a class
+	// (host RNICs restart their flow scheduler here).
+	onResume func(class int)
+
+	// pause-duration accounting for the O_PFC utility term
+	pausedSince  eventsim.Time
+	pausedAccum  eventsim.Time
+	pauseCounted bool
+
+	Stats PortStats
+}
+
+// NewEgressPort builds a port transmitting at rateBps over a link with
+// one-way propagation delay prop. Wire the destination with SetPeer before
+// the first Enqueue.
+func NewEgressPort(eng *eventsim.Engine, rateBps float64, prop eventsim.Time, rng *rand.Rand) *EgressPort {
+	if rateBps <= 0 {
+		panic("netdev: non-positive port rate")
+	}
+	return &EgressPort{eng: eng, rateBps: rateBps, prop: prop, rng: rng}
+}
+
+// SetPeer wires the far end of the link: packets arrive at dev.Receive
+// with inPort = port.
+func (p *EgressPort) SetPeer(dev Device, port int) {
+	p.peer = dev
+	p.peerPort = port
+}
+
+// SetMarker installs the ECN marking law (switch CP behaviour). The
+// function is consulted at dequeue with the class-0 queue depth in bytes.
+func (p *EgressPort) SetMarker(m func(queueBytes int64) float64) { p.marker = m }
+
+// SetOnDeparted installs the departure hook.
+func (p *EgressPort) SetOnDeparted(fn func(pkt *Packet, inPort int)) { p.onDeparted = fn }
+
+// SetOnResume installs the PFC-resume hook.
+func (p *EgressPort) SetOnResume(fn func(class int)) { p.onResume = fn }
+
+// Busy reports whether a packet is currently serializing.
+func (p *EgressPort) Busy() bool { return p.busy }
+
+// RateBps reports the configured line rate.
+func (p *EgressPort) RateBps() float64 { return p.rateBps }
+
+// QueueBytes reports the current depth of the given class queue.
+func (p *EgressPort) QueueBytes(class int) int64 { return p.queues[class].bytes }
+
+// serialization returns the wire time of n bytes at line rate.
+func (p *EgressPort) serialization(n int) eventsim.Time {
+	return eventsim.Time(float64(n*8) / p.rateBps * 1e9)
+}
+
+// Enqueue appends a packet (tagged with its ingress port, −1 for locally
+// generated traffic) and kicks the transmitter.
+func (p *EgressPort) Enqueue(pkt *Packet, inPort int) {
+	p.queues[pkt.Class].push(queueEntry{pkt: pkt, inPort: inPort})
+	p.kick()
+}
+
+// Paused reports the PFC pause state of a class.
+func (p *EgressPort) Paused(class int) bool { return p.paused[class] }
+
+// SetPaused applies a PFC PAUSE (true) or RESUME (false) for a class, as
+// commanded by the downstream device. Pause takes effect between packets.
+func (p *EgressPort) SetPaused(class int, paused bool) {
+	if p.paused[class] == paused {
+		return
+	}
+	p.paused[class] = paused
+	if class == ClassData {
+		if paused {
+			p.pausedSince = p.eng.Now()
+			p.pauseCounted = true
+		} else if p.pauseCounted {
+			p.pausedAccum += p.eng.Now() - p.pausedSince
+			p.pauseCounted = false
+		}
+	}
+	if !paused {
+		p.kick()
+		if p.onResume != nil {
+			p.onResume(class)
+		}
+	}
+}
+
+// TakePausedTime returns the class-0 pause duration accumulated since the
+// previous call and resets the accumulator. A port paused across the call
+// contributes its elapsed pause so far.
+func (p *EgressPort) TakePausedTime() eventsim.Time {
+	if p.pauseCounted {
+		now := p.eng.Now()
+		p.pausedAccum += now - p.pausedSince
+		p.pausedSince = now
+	}
+	v := p.pausedAccum
+	p.pausedAccum = 0
+	return v
+}
+
+// TakeTxDataBytes returns class-0 bytes transmitted since the previous
+// call and resets the counter (monitor-interval throughput sampling).
+func (p *EgressPort) TakeTxDataBytes() int64 {
+	v := p.Stats.TxDataBytes
+	p.Stats.TxDataBytes = 0
+	return v
+}
+
+// SendPFC emits a PAUSE or RESUME control frame to the peer. PFC frames
+// bypass the queues; they only pay serialization plus propagation.
+func (p *EgressPort) SendPFC(pause bool, class int) {
+	if p.peer == nil {
+		panic("netdev: SendPFC before SetPeer")
+	}
+	frame := &Packet{
+		Kind: KindPFC, WireBytes: CtrlFrameBytes,
+		Class: ClassCtrl, Pause: pause, PauseClass: class,
+	}
+	p.Stats.PFCSent++
+	peer, port := p.peer, p.peerPort
+	p.eng.After(p.serialization(CtrlFrameBytes)+p.prop, func() {
+		peer.Receive(frame, port)
+	})
+}
+
+// kick starts the transmitter if idle and eligible traffic is queued.
+func (p *EgressPort) kick() {
+	if p.busy {
+		return
+	}
+	e, class, ok := p.next()
+	if !ok {
+		return
+	}
+	p.transmit(e, class)
+}
+
+// next picks the highest-priority eligible entry: control first, then
+// unpaused data.
+func (p *EgressPort) next() (queueEntry, int, bool) {
+	if !p.paused[ClassCtrl] && !p.queues[ClassCtrl].empty() {
+		e, _ := p.queues[ClassCtrl].pop()
+		return e, ClassCtrl, true
+	}
+	if !p.paused[ClassData] && !p.queues[ClassData].empty() {
+		e, _ := p.queues[ClassData].pop()
+		return e, ClassData, true
+	}
+	return queueEntry{}, 0, false
+}
+
+func (p *EgressPort) transmit(e queueEntry, class int) {
+	if p.peer == nil {
+		panic("netdev: transmit before SetPeer")
+	}
+	pkt := e.pkt
+	if class == ClassData && p.marker != nil && pkt.Kind != KindPFC {
+		// Mark against the depth including the departing packet: the
+		// packet experienced this queue.
+		depth := p.queues[ClassData].bytes + int64(pkt.WireBytes)
+		if prob := p.marker(depth); prob > 0 && p.rng.Float64() < prob {
+			pkt.ECNMarked = true
+			p.Stats.ECNMarked++
+		}
+	}
+	p.busy = true
+	ser := p.serialization(pkt.WireBytes)
+	peer, port := p.peer, p.peerPort
+	p.eng.After(ser, func() {
+		p.Stats.TxPackets++
+		p.Stats.TxBytes += int64(pkt.WireBytes)
+		if class == ClassData {
+			p.Stats.TxDataBytes += int64(pkt.WireBytes)
+		}
+		p.eng.After(p.prop, func() { peer.Receive(pkt, port) })
+		// Clear busy before the departure hook: hosts re-enter their flow
+		// scheduler from it and must see the port as free.
+		p.busy = false
+		if p.onDeparted != nil {
+			p.onDeparted(e.pkt, e.inPort)
+		}
+		p.kick()
+	})
+}

@@ -1,0 +1,199 @@
+package netdev
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/topology"
+)
+
+// SwitchConfig sets the buffer-management behaviour shared by all ports of
+// a switch.
+type SwitchConfig struct {
+	// BufferBytes is the shared packet buffer (paper: 12 MB).
+	BufferBytes int64
+	// PFCAlpha is the dynamic-threshold α: an ingress port may occupy up
+	// to α·(free buffer) before PAUSE is sent upstream (§V: typically 1/8).
+	PFCAlpha float64
+	// PFCResumeOffset is the hysteresis below the pause threshold before
+	// RESUME is sent.
+	PFCResumeOffset int64
+}
+
+// DefaultSwitchConfig mirrors the paper's simulation setup.
+func DefaultSwitchConfig() SwitchConfig {
+	return SwitchConfig{
+		BufferBytes:     12 << 20,
+		PFCAlpha:        1.0 / 8.0,
+		PFCResumeOffset: 2 * (DefaultMTU + HeaderBytes),
+	}
+}
+
+// SwitchStats are cumulative device-level counters.
+type SwitchStats struct {
+	RxPackets   int64
+	Drops       int64
+	PFCTriggers int64
+	PFCReceived int64
+}
+
+// Switch is a shared-buffer output-queued switch with per-port DCQCN ECN
+// marking (the CP) and ingress-based PFC flow control. ECN thresholds are
+// read live through the params func, so a tuner can retarget Kmin/Kmax/Pmax
+// for this switch without reconstructing it.
+type Switch struct {
+	eng  *eventsim.Engine
+	topo *topology.Topology
+	node topology.NodeID
+	cfg  SwitchConfig
+
+	params func() *dcqcn.Params
+
+	ports        []*EgressPort
+	ingressBytes []int64
+	pauseSent    []bool
+	totalUsed    int64
+
+	rng *rand.Rand
+
+	// Tap, if set, observes every admitted class-0 data packet at
+	// ingress. Paraleon's sketch measurement points attach here.
+	Tap func(pkt *Packet, now eventsim.Time)
+
+	Stats SwitchStats
+}
+
+// NewSwitch builds the device model for node within topo. Egress ports are
+// created per the node's topology ports but remain unwired; call WirePort
+// for each once the peer devices exist.
+func NewSwitch(eng *eventsim.Engine, topo *topology.Topology, node topology.NodeID, cfg SwitchConfig, params func() *dcqcn.Params) *Switch {
+	n := &topo.Nodes[node]
+	s := &Switch{
+		eng: eng, topo: topo, node: node, cfg: cfg,
+		params:       params,
+		ingressBytes: make([]int64, len(n.Ports)),
+		pauseSent:    make([]bool, len(n.Ports)),
+		rng:          eng.Rand(),
+	}
+	s.ports = make([]*EgressPort, len(n.Ports))
+	for i, lid := range n.Ports {
+		l := &topo.Links[lid]
+		p := NewEgressPort(eng, l.RateBps, l.PropDelay, eng.Rand())
+		p.SetMarker(func(depth int64) float64 { return s.params().MarkProbability(depth) })
+		p.SetOnDeparted(s.released)
+		s.ports[i] = p
+	}
+	return s
+}
+
+// NodeID reports which topology node this switch realizes.
+func (s *Switch) NodeID() topology.NodeID { return s.node }
+
+// Port returns the egress port at local index i.
+func (s *Switch) Port(i int) *EgressPort { return s.ports[i] }
+
+// NumPorts reports the port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// WirePort connects local port i to the peer device's port.
+func (s *Switch) WirePort(i int, peer Device, peerPort int) {
+	s.ports[i].SetPeer(peer, peerPort)
+}
+
+// BufferUsed reports the class-0 bytes currently buffered.
+func (s *Switch) BufferUsed() int64 { return s.totalUsed }
+
+// Receive implements Device: route, admit, and enqueue.
+func (s *Switch) Receive(pkt *Packet, inPort int) {
+	if pkt.Kind == KindPFC {
+		s.Stats.PFCReceived++
+		s.ports[inPort].SetPaused(pkt.PauseClass, pkt.Pause)
+		return
+	}
+	s.Stats.RxPackets++
+	out := s.routePort(pkt)
+	if pkt.Class == ClassData {
+		wire := int64(pkt.WireBytes)
+		if s.totalUsed+wire > s.cfg.BufferBytes {
+			// Lossless fabrics should pause before this point; a drop
+			// here means PFC headroom was exhausted.
+			s.Stats.Drops++
+			return
+		}
+		s.totalUsed += wire
+		s.ingressBytes[inPort] += wire
+		s.maybePause(inPort)
+		if s.Tap != nil {
+			s.Tap(pkt, s.eng.Now())
+		}
+		s.ports[out].Enqueue(pkt, inPort)
+		return
+	}
+	// Control class: tiny strict-priority traffic, not buffer-accounted.
+	s.ports[out].Enqueue(pkt, -1)
+}
+
+// routePort picks the ECMP next hop for pkt.
+func (s *Switch) routePort(pkt *Packet) int {
+	hops := s.topo.NextHops(s.node, pkt.Dst)
+	if len(hops) == 0 {
+		panic(fmt.Sprintf("netdev: switch %d has no route to %d", s.node, pkt.Dst))
+	}
+	if len(hops) == 1 {
+		return hops[0]
+	}
+	return hops[ecmpHash(pkt.FlowID, uint64(s.node))%uint64(len(hops))]
+}
+
+// pauseThreshold is the dynamic threshold α·(B − used).
+func (s *Switch) pauseThreshold() int64 {
+	free := s.cfg.BufferBytes - s.totalUsed
+	if free < 0 {
+		free = 0
+	}
+	return int64(s.cfg.PFCAlpha * float64(free))
+}
+
+func (s *Switch) maybePause(inPort int) {
+	if s.pauseSent[inPort] {
+		return
+	}
+	if s.ingressBytes[inPort] >= s.pauseThreshold() {
+		s.pauseSent[inPort] = true
+		s.Stats.PFCTriggers++
+		s.ports[inPort].SendPFC(true, ClassData)
+	}
+}
+
+// released is the per-port departure hook: free shared buffer, release
+// ingress accounting, and send RESUME when occupancy falls far enough.
+func (s *Switch) released(pkt *Packet, inPort int) {
+	if pkt.Class != ClassData || inPort < 0 {
+		return
+	}
+	wire := int64(pkt.WireBytes)
+	s.totalUsed -= wire
+	s.ingressBytes[inPort] -= wire
+	if s.pauseSent[inPort] {
+		thr := s.pauseThreshold() - s.cfg.PFCResumeOffset
+		if thr < 0 {
+			thr = 0
+		}
+		if s.ingressBytes[inPort] <= thr {
+			s.pauseSent[inPort] = false
+			s.ports[inPort].SendPFC(false, ClassData)
+		}
+	}
+}
+
+// TakePausedTime sums and resets TakePausedTime over all ports: the
+// λ_xoff numerator of the O_PFC utility term for this device.
+func (s *Switch) TakePausedTime() eventsim.Time {
+	var total eventsim.Time
+	for _, p := range s.ports {
+		total += p.TakePausedTime()
+	}
+	return total
+}

@@ -1,0 +1,404 @@
+// Package rnic models the host side of the RoCEv2 fabric: an RNIC with
+// per-QP DCQCN reaction points, a flow scheduler that arbitrates QPs onto
+// the uplink at line rate, the notification point that echoes ECN marks as
+// CNPs, and the RTT probing that feeds Paraleon's O_RTT utility term.
+package rnic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/netdev"
+	"repro/internal/topology"
+)
+
+// FlowCompleteFunc is called at the receiving host when a flow's last byte
+// arrives.
+type FlowCompleteFunc func(flowID uint64, src, dst topology.NodeID, size int64, start, end eventsim.Time)
+
+// SendFlow is the sender-side state of one message on one QP.
+type SendFlow struct {
+	ID    uint64
+	Dst   topology.NodeID
+	Size  int64
+	Sent  int64
+	Start eventsim.Time
+
+	rp       *dcqcn.RP
+	nextSend eventsim.Time
+}
+
+// RP exposes the flow's reaction point (for tests and instrumentation).
+func (f *SendFlow) RP() *dcqcn.RP { return f.rp }
+
+// recvFlow is the receiver-side state of one inbound message.
+type recvFlow struct {
+	src      topology.NodeID
+	expected int64
+	got      int64
+	start    eventsim.Time
+	np       *dcqcn.NP
+}
+
+// HostStats are cumulative RNIC counters.
+type HostStats struct {
+	FlowsStarted   int64
+	FlowsCompleted int64 // completed as receiver
+	TxPackets      int64
+	CNPsSent       int64
+	CNPsReceived   int64
+	ProbesSent     int64
+	RTTSamples     int64
+}
+
+// Host is one server's RNIC attached to the fabric by a single uplink.
+type Host struct {
+	eng    *eventsim.Engine
+	topo   *topology.Topology
+	node   topology.NodeID
+	params func() *dcqcn.Params
+
+	port *netdev.EgressPort
+	mtu  int
+
+	sendFlows []*SendFlow // active senders, deterministic order
+	byID      map[uint64]*SendFlow
+	rx        map[uint64]*recvFlow
+
+	timerEv    eventsim.EventID
+	timerArmed bool
+
+	onComplete FlowCompleteFunc
+
+	probeEv      eventsim.EventID
+	probeArmed   bool
+	probeEvery   eventsim.Time
+	rttNormSum   float64
+	rttNormCount int64
+
+	// markedInbound collects inbound flows that saw ECN marks since the
+	// last TakeCongestedInbound (DCQCN+ uses this as its incast-scale
+	// signal).
+	markedInbound map[uint64]bool
+
+	// reportedSent tracks how many bytes of each flow TakeFlowBytes has
+	// already reported; finishedUnreported holds residue of flows that
+	// completed between takes. Together they realize the §V "per-QP
+	// counters in future RNICs" monitoring mode.
+	reportedSent       map[uint64]int64
+	finishedUnreported map[uint64]int64
+
+	Stats HostStats
+}
+
+// NewHost builds the RNIC for node. The single uplink egress port is
+// created from the node's first topology port; wire it to the ToR with
+// Port().SetPeer. onComplete may be nil.
+func NewHost(eng *eventsim.Engine, topo *topology.Topology, node topology.NodeID, params func() *dcqcn.Params, onComplete FlowCompleteFunc) *Host {
+	n := &topo.Nodes[node]
+	if n.Kind != topology.Host {
+		panic(fmt.Sprintf("rnic: node %d is a %v, not a host", node, n.Kind))
+	}
+	if len(n.Ports) != 1 {
+		panic(fmt.Sprintf("rnic: host %d has %d ports, want 1", node, len(n.Ports)))
+	}
+	l := &topo.Links[n.Ports[0]]
+	h := &Host{
+		eng: eng, topo: topo, node: node, params: params,
+		mtu:                netdev.DefaultMTU,
+		byID:               map[uint64]*SendFlow{},
+		rx:                 map[uint64]*recvFlow{},
+		onComplete:         onComplete,
+		markedInbound:      map[uint64]bool{},
+		reportedSent:       map[uint64]int64{},
+		finishedUnreported: map[uint64]int64{},
+	}
+	h.port = netdev.NewEgressPort(eng, l.RateBps, l.PropDelay, eng.Rand())
+	h.port.SetOnDeparted(func(pkt *netdev.Packet, inPort int) { h.schedule() })
+	h.port.SetOnResume(func(class int) { h.schedule() })
+	return h
+}
+
+// NodeID reports the topology node this RNIC serves.
+func (h *Host) NodeID() topology.NodeID { return h.node }
+
+// Port returns the uplink egress port for wiring and counter sampling.
+func (h *Host) Port() *netdev.EgressPort { return h.port }
+
+// SetMTU overrides the per-packet payload size (default netdev.DefaultMTU).
+func (h *Host) SetMTU(mtu int) {
+	if mtu <= 0 {
+		panic("rnic: non-positive MTU")
+	}
+	h.mtu = mtu
+}
+
+// ActiveFlows reports the number of in-progress sending flows.
+func (h *Host) ActiveFlows() int { return len(h.sendFlows) }
+
+// StartFlow begins transmitting size bytes to dst as flow id. The caller
+// (normally sim.Network) must also register the expectation at the
+// destination with ExpectFlow.
+func (h *Host) StartFlow(id uint64, dst topology.NodeID, size int64) *SendFlow {
+	if size <= 0 {
+		panic(fmt.Sprintf("rnic: flow %d has size %d", id, size))
+	}
+	if _, dup := h.byID[id]; dup {
+		panic(fmt.Sprintf("rnic: duplicate flow id %d", id))
+	}
+	f := &SendFlow{
+		ID: id, Dst: dst, Size: size, Start: h.eng.Now(),
+		rp:       dcqcn.NewRP(h.eng, h.params, h.port.RateBps()),
+		nextSend: h.eng.Now(),
+	}
+	f.rp.Start()
+	h.sendFlows = append(h.sendFlows, f)
+	h.byID[id] = f
+	h.Stats.FlowsStarted++
+	h.schedule()
+	return f
+}
+
+// ExpectFlow registers an inbound flow at the receiver so completion can
+// be detected and timed from its true start.
+func (h *Host) ExpectFlow(id uint64, src topology.NodeID, size int64, start eventsim.Time) {
+	h.rx[id] = &recvFlow{src: src, expected: size, start: start, np: dcqcn.NewNP(h.params)}
+}
+
+// schedule is the QP arbiter: when the uplink is idle and unpaused, the
+// active flow with the earliest pacing deadline transmits one packet;
+// otherwise a wakeup is armed for the earliest deadline.
+func (h *Host) schedule() {
+	if h.port.Busy() || h.port.Paused(netdev.ClassData) {
+		return
+	}
+	var best *SendFlow
+	for _, f := range h.sendFlows {
+		if best == nil || f.nextSend < best.nextSend {
+			best = f
+		}
+	}
+	if best == nil {
+		return
+	}
+	now := h.eng.Now()
+	if best.nextSend <= now {
+		h.sendPacket(best)
+		return
+	}
+	if h.timerArmed {
+		h.eng.Cancel(h.timerEv)
+	}
+	h.timerArmed = true
+	h.timerEv = h.eng.Schedule(best.nextSend, func() {
+		h.timerArmed = false
+		h.schedule()
+	})
+}
+
+func (h *Host) sendPacket(f *SendFlow) {
+	payload := h.mtu
+	if remaining := f.Size - f.Sent; int64(payload) > remaining {
+		payload = int(remaining)
+	}
+	last := f.Sent+int64(payload) == f.Size
+	pkt := netdev.NewDataPacket(f.ID, h.node, f.Dst, f.Sent, payload, last)
+	f.Sent += int64(payload)
+	wire := int64(pkt.WireBytes)
+	f.rp.OnBytesSent(wire)
+	// Pace the next packet of this QP by the RP's current rate.
+	f.nextSend = h.eng.Now() + eventsim.Time(float64(wire*8)/f.rp.Rate()*1e9)
+	h.Stats.TxPackets++
+	h.port.Enqueue(pkt, -1)
+	if f.Sent >= f.Size {
+		h.finishSendFlow(f)
+	}
+}
+
+func (h *Host) finishSendFlow(f *SendFlow) {
+	f.rp.Stop()
+	if residue := f.Sent - h.reportedSent[f.ID]; residue > 0 {
+		h.finishedUnreported[f.ID] += residue
+	}
+	delete(h.reportedSent, f.ID)
+	delete(h.byID, f.ID)
+	for i, g := range h.sendFlows {
+		if g == f {
+			h.sendFlows = append(h.sendFlows[:i], h.sendFlows[i+1:]...)
+			break
+		}
+	}
+}
+
+// Receive implements netdev.Device.
+func (h *Host) Receive(pkt *netdev.Packet, inPort int) {
+	switch pkt.Kind {
+	case netdev.KindPFC:
+		h.port.SetPaused(pkt.PauseClass, pkt.Pause)
+
+	case netdev.KindData:
+		rf := h.rx[pkt.FlowID]
+		if rf == nil {
+			// Unregistered flow (e.g. raw injection in tests): track it
+			// so NP behaviour still applies, but never complete it.
+			rf = &recvFlow{src: pkt.Src, expected: -1, np: dcqcn.NewNP(h.params)}
+			h.rx[pkt.FlowID] = rf
+		}
+		rf.got += int64(pkt.PayloadBytes)
+		if pkt.ECNMarked {
+			h.markedInbound[pkt.FlowID] = true
+		}
+		if pkt.ECNMarked && rf.np.OnECNMarked(h.eng.Now()) {
+			h.Stats.CNPsSent++
+			h.port.Enqueue(netdev.NewCNP(pkt.FlowID, h.node, pkt.Src), -1)
+		}
+		if rf.expected >= 0 && rf.got >= rf.expected {
+			h.Stats.FlowsCompleted++
+			if h.onComplete != nil {
+				h.onComplete(pkt.FlowID, rf.src, h.node, rf.expected, rf.start, h.eng.Now())
+			}
+			delete(h.rx, pkt.FlowID)
+		}
+
+	case netdev.KindCNP:
+		h.Stats.CNPsReceived++
+		if f := h.byID[pkt.FlowID]; f != nil {
+			f.rp.OnCNP()
+		}
+
+	case netdev.KindProbe:
+		reply := &netdev.Packet{
+			Kind: netdev.KindProbeReply, Class: netdev.ClassCtrl,
+			WireBytes: netdev.CtrlFrameBytes,
+			FlowID:    pkt.FlowID, Src: h.node, Dst: pkt.Src,
+			SentAt: pkt.SentAt,
+		}
+		h.port.Enqueue(reply, -1)
+
+	case netdev.KindProbeReply:
+		rtt := h.eng.Now() - pkt.SentAt
+		if rtt <= 0 {
+			return
+		}
+		base := 2 * h.topo.BasePathDelay(h.node, pkt.Src)
+		norm := float64(base) / float64(rtt)
+		if norm > 1 {
+			norm = 1
+		}
+		h.rttNormSum += norm
+		h.rttNormCount++
+		h.Stats.RTTSamples++
+	}
+}
+
+// StartProbing arms periodic RTT probes toward the destinations of the
+// host's active flows; every is typically a fraction of the monitor
+// interval. Probes ride the data class so they observe real queueing.
+func (h *Host) StartProbing(every eventsim.Time) {
+	if every <= 0 {
+		panic("rnic: non-positive probe interval")
+	}
+	h.StopProbing()
+	h.probeEvery = every
+	h.armProbe()
+}
+
+// StopProbing cancels periodic probing.
+func (h *Host) StopProbing() {
+	if h.probeArmed {
+		h.eng.Cancel(h.probeEv)
+		h.probeArmed = false
+	}
+}
+
+func (h *Host) armProbe() {
+	h.probeArmed = true
+	h.probeEv = h.eng.After(h.probeEvery, func() {
+		h.sendProbes()
+		h.armProbe()
+	})
+}
+
+func (h *Host) sendProbes() {
+	seen := map[topology.NodeID]bool{}
+	for _, f := range h.sendFlows {
+		if seen[f.Dst] {
+			continue
+		}
+		seen[f.Dst] = true
+		probe := &netdev.Packet{
+			Kind: netdev.KindProbe, Class: netdev.ClassData,
+			WireBytes: netdev.CtrlFrameBytes,
+			FlowID:    f.ID, Src: h.node, Dst: f.Dst,
+			SentAt: h.eng.Now(),
+		}
+		h.Stats.ProbesSent++
+		h.port.Enqueue(probe, -1)
+	}
+}
+
+// TakeRTT returns the sum of normalized RTT samples (base path delay over
+// measured RTT, per Swift) and their count since the previous call, then
+// resets both.
+func (h *Host) TakeRTT() (sumNorm float64, count int64) {
+	sumNorm, count = h.rttNormSum, h.rttNormCount
+	h.rttNormSum, h.rttNormCount = 0, 0
+	return sumNorm, count
+}
+
+// TakeCongestedInbound reports how many distinct inbound flows received
+// ECN-marked packets since the previous call, then resets the set. This
+// is the NP-side incast-scale estimate DCQCN+ keys its CNP interval on.
+func (h *Host) TakeCongestedInbound() int {
+	n := len(h.markedInbound)
+	if n > 0 {
+		h.markedInbound = map[uint64]bool{}
+	}
+	return n
+}
+
+// TakeFlowBytes reports, per flow this RNIC sent on since the previous
+// call, the payload bytes transmitted in that window — exact per-QP
+// counters, the §V alternative to switch sketches. Output is sorted by
+// flow ID; flows that completed between takes contribute their residue.
+func (h *Host) TakeFlowBytes() []FlowBytes {
+	out := make([]FlowBytes, 0, len(h.sendFlows)+len(h.finishedUnreported))
+	for _, f := range h.sendFlows {
+		delta := f.Sent - h.reportedSent[f.ID]
+		if delta <= 0 {
+			continue
+		}
+		h.reportedSent[f.ID] = f.Sent
+		out = append(out, FlowBytes{Flow: f.ID, Bytes: delta})
+	}
+	for id, b := range h.finishedUnreported {
+		out = append(out, FlowBytes{Flow: id, Bytes: b})
+	}
+	if len(h.finishedUnreported) > 0 {
+		h.finishedUnreported = map[uint64]int64{}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}
+
+// FlowBytes pairs a flow with bytes it moved in a window.
+type FlowBytes struct {
+	Flow  uint64
+	Bytes int64
+}
+
+// ActiveDestinations lists the distinct destinations of in-progress
+// sending flows, in first-flow order.
+func (h *Host) ActiveDestinations() []topology.NodeID {
+	seen := map[topology.NodeID]bool{}
+	var out []topology.NodeID
+	for _, f := range h.sendFlows {
+		if !seen[f.Dst] {
+			seen[f.Dst] = true
+			out = append(out, f.Dst)
+		}
+	}
+	return out
+}

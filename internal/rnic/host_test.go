@@ -1,0 +1,314 @@
+package rnic
+
+import (
+	"testing"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/netdev"
+	"repro/internal/topology"
+)
+
+// pipe is a stand-in ToR that relays every non-PFC packet to the other
+// host instantly, recording what it saw.
+type pipe struct {
+	hosts [2]*Host
+	seen  []*netdev.Packet
+}
+
+func (p *pipe) Receive(pkt *netdev.Packet, inPort int) {
+	p.seen = append(p.seen, pkt)
+	if pkt.Kind == netdev.KindPFC {
+		return
+	}
+	for i := range p.hosts {
+		if p.hosts[i].NodeID() == pkt.Dst {
+			p.hosts[i].Receive(pkt, 0)
+			return
+		}
+	}
+}
+
+type rig struct {
+	eng    *eventsim.Engine
+	topo   *topology.Topology
+	params *dcqcn.Params
+	hosts  [2]*Host
+	relay  *pipe
+	done   []uint64
+}
+
+func newRig(t *testing.T, p dcqcn.Params) *rig {
+	t.Helper()
+	topo, err := topology.NewClos(topology.ClosConfig{
+		NumToR: 1, NumLeaf: 0, HostsPerToR: 2,
+		HostLinkBps: 1e9, PropDelay: eventsim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{eng: eventsim.NewEngine(11), topo: topo, params: &p, relay: &pipe{}}
+	onDone := func(id uint64, src, dst topology.NodeID, size int64, start, end eventsim.Time) {
+		r.done = append(r.done, id)
+	}
+	for i, hn := range topo.Hosts() {
+		h := NewHost(r.eng, topo, hn, func() *dcqcn.Params { return r.params }, onDone)
+		h.Port().SetPeer(r.relay, i)
+		r.hosts[i] = h
+		r.relay.hosts[i] = h
+	}
+	return r
+}
+
+func TestSegmentationAndCompletion(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	size := int64(2500) // 3 packets at MTU 1000
+	b.ExpectFlow(1, a.NodeID(), size, 0)
+	a.StartFlow(1, b.NodeID(), size)
+	r.eng.RunUntil(eventsim.Second)
+	var data []*netdev.Packet
+	for _, pkt := range r.relay.seen {
+		if pkt.Kind == netdev.KindData {
+			data = append(data, pkt)
+		}
+	}
+	if len(data) != 3 {
+		t.Fatalf("saw %d data packets, want 3", len(data))
+	}
+	wantPayloads := []int{1000, 1000, 500}
+	wantSeqs := []int64{0, 1000, 2000}
+	for i, pkt := range data {
+		if pkt.PayloadBytes != wantPayloads[i] || pkt.Seq != wantSeqs[i] {
+			t.Errorf("packet %d: payload %d seq %d, want %d/%d", i, pkt.PayloadBytes, pkt.Seq, wantPayloads[i], wantSeqs[i])
+		}
+		if pkt.WireBytes != pkt.PayloadBytes+netdev.HeaderBytes {
+			t.Errorf("packet %d wire %d, want payload+header", i, pkt.WireBytes)
+		}
+	}
+	if !data[2].Last || data[0].Last || data[1].Last {
+		t.Error("Last flag misplaced")
+	}
+	if len(r.done) != 1 || r.done[0] != 1 {
+		t.Errorf("completions %v, want [1]", r.done)
+	}
+	if a.ActiveFlows() != 0 {
+		t.Errorf("sender still has %d active flows", a.ActiveFlows())
+	}
+}
+
+func TestCustomMTU(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	a.SetMTU(500)
+	b.ExpectFlow(1, a.NodeID(), 1500, 0)
+	a.StartFlow(1, b.NodeID(), 1500)
+	r.eng.RunUntil(eventsim.Second)
+	var data int
+	for _, pkt := range r.relay.seen {
+		if pkt.Kind == netdev.KindData {
+			data++
+			if pkt.PayloadBytes != 500 {
+				t.Errorf("payload %d, want 500", pkt.PayloadBytes)
+			}
+		}
+	}
+	if data != 3 {
+		t.Errorf("%d packets at MTU 500 for 1500B, want 3", data)
+	}
+}
+
+func TestDuplicateFlowIDPanics(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	a.StartFlow(1, b.NodeID(), 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate flow id did not panic")
+		}
+	}()
+	a.StartFlow(1, b.NodeID(), 1<<20)
+}
+
+func TestZeroSizeFlowPanics(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size flow did not panic")
+		}
+	}()
+	r.hosts[0].StartFlow(1, r.hosts[1].NodeID(), 0)
+}
+
+func TestPacingFollowsRPRate(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	f := a.StartFlow(1, b.NodeID(), 1<<20)
+	// Knock the RP down to ~minimum rate with repeated CNPs.
+	for i := 0; i < 60; i++ {
+		r.eng.RunUntil(r.eng.Now() + 10*eventsim.Microsecond)
+		f.RP().OnCNP()
+	}
+	rate := f.RP().Rate()
+	txBefore := a.Stats.TxPackets
+	window := 20 * eventsim.Millisecond
+	r.eng.RunUntil(r.eng.Now() + window)
+	sent := a.Stats.TxPackets - txBefore
+	wire := int64(netdev.DefaultMTU + netdev.HeaderBytes)
+	// Expected packets ≈ rate·window/bits-per-packet. The RP keeps
+	// recovering during the window, so allow generous slack upward but
+	// require at least the floor rate's worth.
+	floorPkts := float64(rate) * window.Seconds() / float64(wire*8)
+	if float64(sent) < 0.5*floorPkts {
+		t.Errorf("sent %d packets in %v at rate %g, want >= %g", sent, window, rate, 0.5*floorPkts)
+	}
+}
+
+func TestCNPReducesRate(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	f := a.StartFlow(7, b.NodeID(), 8<<20)
+	r.eng.RunUntil(eventsim.Millisecond)
+	before := f.RP().Rate()
+	// Deliver a CNP for the flow through the host's receive path.
+	a.Receive(netdev.NewCNP(7, b.NodeID(), a.NodeID()), 0)
+	if f.RP().Rate() >= before {
+		t.Errorf("rate %g did not fall after CNP (was %g)", f.RP().Rate(), before)
+	}
+	if a.Stats.CNPsReceived != 1 {
+		t.Errorf("CNPsReceived = %d, want 1", a.Stats.CNPsReceived)
+	}
+}
+
+func TestCNPForFinishedFlowIgnored(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	b.ExpectFlow(3, a.NodeID(), 1000, 0)
+	a.StartFlow(3, b.NodeID(), 1000)
+	r.eng.RunUntil(eventsim.Second)
+	// Must not panic or corrupt state.
+	a.Receive(netdev.NewCNP(3, b.NodeID(), a.NodeID()), 0)
+	if a.Stats.CNPsReceived != 1 {
+		t.Errorf("CNPsReceived = %d, want 1", a.Stats.CNPsReceived)
+	}
+}
+
+func TestECNMarkedDataTriggersCNP(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	b.ExpectFlow(9, a.NodeID(), 1<<20, 0)
+	pkt := netdev.NewDataPacket(9, a.NodeID(), b.NodeID(), 0, 1000, false)
+	pkt.ECNMarked = true
+	b.Receive(pkt, 0)
+	r.eng.RunUntil(10 * eventsim.Millisecond)
+	if b.Stats.CNPsSent != 1 {
+		t.Fatalf("CNPsSent = %d, want 1", b.Stats.CNPsSent)
+	}
+	// The CNP must arrive back at the sender.
+	if a.Stats.CNPsReceived != 1 {
+		t.Errorf("sender CNPsReceived = %d, want 1", a.Stats.CNPsReceived)
+	}
+}
+
+func TestCNPPacingAtReceiver(t *testing.T) {
+	p := dcqcn.DefaultParams()
+	p.MinTimeBetweenCNPs = 100 * eventsim.Microsecond
+	r := newRig(t, p)
+	a, b := r.hosts[0], r.hosts[1]
+	b.ExpectFlow(9, a.NodeID(), 1<<20, 0)
+	// Three marked packets in quick succession: only one CNP.
+	for i := 0; i < 3; i++ {
+		pkt := netdev.NewDataPacket(9, a.NodeID(), b.NodeID(), int64(i)*1000, 1000, false)
+		pkt.ECNMarked = true
+		b.Receive(pkt, 0)
+	}
+	if b.Stats.CNPsSent != 1 {
+		t.Errorf("CNPsSent = %d, want 1 (paced)", b.Stats.CNPsSent)
+	}
+}
+
+func TestPFCPausesHostUplink(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	a.StartFlow(1, b.NodeID(), 1<<20)
+	r.eng.RunUntil(100 * eventsim.Microsecond)
+	txAtPause := a.Stats.TxPackets
+	a.Receive(&netdev.Packet{Kind: netdev.KindPFC, Pause: true, PauseClass: netdev.ClassData}, 0)
+	r.eng.RunUntil(r.eng.Now() + eventsim.Millisecond)
+	// At most the in-flight packet may still depart.
+	if a.Stats.TxPackets > txAtPause+1 {
+		t.Errorf("host sent %d packets while paused", a.Stats.TxPackets-txAtPause)
+	}
+	a.Receive(&netdev.Packet{Kind: netdev.KindPFC, Pause: false, PauseClass: netdev.ClassData}, 0)
+	r.eng.RunUntil(r.eng.Now() + eventsim.Millisecond)
+	if a.Stats.TxPackets <= txAtPause+1 {
+		t.Error("host did not resume after PFC RESUME")
+	}
+}
+
+func TestProbeReplyAndNormalizedRTT(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	a.StartFlow(1, b.NodeID(), 4<<20)
+	a.StartProbing(100 * eventsim.Microsecond)
+	r.eng.RunUntil(2 * eventsim.Millisecond)
+	if a.Stats.ProbesSent == 0 {
+		t.Fatal("no probes sent despite active flow")
+	}
+	sum, count := a.TakeRTT()
+	if count == 0 {
+		t.Fatal("no RTT samples")
+	}
+	avg := sum / float64(count)
+	if avg <= 0 || avg > 1 {
+		t.Errorf("normalized RTT %g outside (0,1]", avg)
+	}
+}
+
+func TestProbingStopsWithStopProbing(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	a.StartFlow(1, b.NodeID(), 4<<20)
+	a.StartProbing(100 * eventsim.Microsecond)
+	r.eng.RunUntil(eventsim.Millisecond)
+	a.StopProbing()
+	sent := a.Stats.ProbesSent
+	r.eng.RunUntil(2 * eventsim.Millisecond)
+	if a.Stats.ProbesSent != sent {
+		t.Errorf("probes kept flowing after StopProbing: %d -> %d", sent, a.Stats.ProbesSent)
+	}
+}
+
+func TestNoProbesWithoutFlows(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a := r.hosts[0]
+	a.StartProbing(100 * eventsim.Microsecond)
+	r.eng.RunUntil(eventsim.Millisecond)
+	if a.Stats.ProbesSent != 0 {
+		t.Errorf("idle host sent %d probes", a.Stats.ProbesSent)
+	}
+}
+
+func TestUnregisteredFlowNeverCompletes(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	a, b := r.hosts[0], r.hosts[1]
+	pkt := netdev.NewDataPacket(99, a.NodeID(), b.NodeID(), 0, 1000, true)
+	b.Receive(pkt, 0)
+	if len(r.done) != 0 {
+		t.Error("unregistered flow completed")
+	}
+	if b.Stats.FlowsCompleted != 0 {
+		t.Error("FlowsCompleted incremented for unregistered flow")
+	}
+}
+
+func TestHostRequiresHostNode(t *testing.T) {
+	r := newRig(t, dcqcn.DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHost on a switch node did not panic")
+		}
+	}()
+	p := dcqcn.DefaultParams()
+	NewHost(r.eng, r.topo, r.topo.ToRs()[0], func() *dcqcn.Params { return &p }, nil)
+}

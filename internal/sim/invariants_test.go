@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eventsim"
+	"repro/internal/netdev"
+)
+
+// Conservation: every payload byte a sender was asked to move arrives at
+// the receiver exactly once, for arbitrary flow mixes, and the fabric's
+// buffers drain to zero afterwards.
+func TestQuickByteConservation(t *testing.T) {
+	f := func(specs []uint32, seed int64) bool {
+		if len(specs) > 24 {
+			specs = specs[:24]
+		}
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		hosts := n.Topo.Hosts()
+		var want int64
+		launched := 0
+		for i, raw := range specs {
+			src := hosts[int(raw)%len(hosts)]
+			dst := hosts[(int(raw)+1+int(raw>>8)%(len(hosts)-1))%len(hosts)]
+			if src == dst {
+				continue
+			}
+			size := int64(raw%2_000_000) + 1
+			at := eventsim.Time(i) * 100 * eventsim.Microsecond
+			n.StartFlowAt(at, src, dst, size)
+			want += size
+			launched++
+		}
+		n.RunUntilIdle(20 * eventsim.Second)
+		if len(n.Completed) != launched {
+			return false
+		}
+		var got int64
+		for _, rec := range n.Completed {
+			got += rec.Size
+		}
+		if got != want {
+			return false
+		}
+		for _, sw := range n.Switches {
+			if sw.BufferUsed() != 0 {
+				return false
+			}
+			if sw.Stats.Drops != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Losslessness under pressure: even with a small shared buffer and tall
+// ECN thresholds (PFC forced to do the work), a hard incast completes
+// with zero drops and all pauses eventually released.
+func TestIncastLosslessUnderTinyBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Switch.BufferBytes = 200 << 10
+	cfg.Params.KminBytes = 150 << 10
+	cfg.Params.KmaxBytes = 180 << 10
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := n.Topo.Hosts()
+	for i := 1; i < len(hosts); i++ {
+		n.StartFlow(hosts[i], hosts[0], 1<<20)
+	}
+	n.RunUntilIdle(20 * eventsim.Second)
+	if len(n.Completed) != len(hosts)-1 {
+		t.Fatalf("completed %d/%d — possible PFC deadlock", len(n.Completed), len(hosts)-1)
+	}
+	for _, sw := range n.Switches {
+		if sw.Stats.Drops != 0 {
+			t.Errorf("switch %d dropped %d", sw.NodeID(), sw.Stats.Drops)
+		}
+	}
+	for _, h := range n.Hosts {
+		if h.Port().Paused(netdev.ClassData) {
+			t.Errorf("host %d still paused after drain", h.NodeID())
+		}
+	}
+}
+
+// Live retuning during a run must never corrupt delivery: randomly
+// mutate parameters mid-flight and check conservation still holds.
+func TestQuickRetuningPreservesConservation(t *testing.T) {
+	f := func(seed int64, knobs []uint16) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		hosts := n.Topo.Hosts()
+		const flows = 6
+		for i := 0; i < flows; i++ {
+			n.StartFlow(hosts[1+i%(len(hosts)-1)], hosts[0], 2<<20)
+		}
+		for i, k := range knobs {
+			if i > 16 {
+				break
+			}
+			k := k
+			n.Eng.Schedule(eventsim.Time(i+1)*200*eventsim.Microsecond, func() {
+				p := *n.RNICParams()
+				p.KminBytes = int64(k%3000)<<10 + (10 << 10)
+				p.KmaxBytes = p.KminBytes * 4
+				p.PMax = float64(k%90)/100 + 0.05
+				p.AIRateBps = float64(k%500+1) * 1e6
+				p.MinTimeBetweenCNPs = eventsim.Time(k%200) * eventsim.Microsecond
+				n.ApplyParams(p)
+			})
+		}
+		n.RunUntilIdle(30 * eventsim.Second)
+		if len(n.Completed) != flows {
+			return false
+		}
+		var got int64
+		for _, rec := range n.Completed {
+			got += rec.Size
+		}
+		return got == int64(flows)*(2<<20)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package sim assembles a runnable RoCEv2 network: it instantiates host
+// RNICs and switches from a topology description, wires every link, routes
+// flows, and records flow completion times. It is the substrate on which
+// all of the paper's experiments run — the Go stand-in for the authors'
+// NS-3 setup.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/netdev"
+	"repro/internal/rnic"
+	"repro/internal/topology"
+)
+
+// Config parameterizes a network build.
+type Config struct {
+	// Clos describes the fabric (see topology.ClosConfig).
+	Clos topology.ClosConfig
+	// Switch sets buffer and PFC behaviour for every switch.
+	Switch netdev.SwitchConfig
+	// Params is the initial DCQCN setting applied to all RNICs and
+	// switches.
+	Params dcqcn.Params
+	// Seed drives all randomness (ECN coin flips, workload draws made
+	// through Rand()).
+	Seed int64
+	// MTU overrides the data payload per packet when > 0.
+	MTU int
+}
+
+// DefaultConfig is a small, fast fabric useful for tests and examples:
+// 2 ToRs × 4 hosts at 10 Gbps with one leaf.
+func DefaultConfig() Config {
+	return Config{
+		Clos: topology.ClosConfig{
+			NumToR: 2, NumLeaf: 1, HostsPerToR: 4,
+			HostLinkBps: 10e9, FabricLinkBps: 40e9,
+			PropDelay: 2 * eventsim.Microsecond,
+		},
+		Switch: netdev.DefaultSwitchConfig(),
+		Params: dcqcn.DefaultParams(),
+		Seed:   1,
+	}
+}
+
+// FlowRecord is one completed flow.
+type FlowRecord struct {
+	ID       uint64
+	Src, Dst topology.NodeID
+	Size     int64
+	Start    eventsim.Time
+	End      eventsim.Time
+}
+
+// FCT returns the flow completion time.
+func (r FlowRecord) FCT() eventsim.Time { return r.End - r.Start }
+
+// Network is a fully wired simulation instance.
+type Network struct {
+	Eng  *eventsim.Engine
+	Topo *topology.Topology
+
+	Hosts    []*rnic.Host // indexed in topology host order
+	Switches []*netdev.Switch
+
+	hostByNode   map[topology.NodeID]*rnic.Host
+	switchByNode map[topology.NodeID]*netdev.Switch
+
+	// rnicParams is shared by every host RNIC; switchParams is
+	// per-switch so schemes like ACC can tune ECN thresholds locally.
+	// hostParams overrides rnicParams for individual hosts (DCQCN+
+	// adjusts per-endpoint CNP pacing and increase steps).
+	rnicParams   *dcqcn.Params
+	switchParams map[topology.NodeID]*dcqcn.Params
+	hostParams   map[topology.NodeID]*dcqcn.Params
+
+	cfg        Config
+	nextFlowID uint64
+	flowSizes  map[uint64]int64
+
+	// Completed accumulates flow records in completion order.
+	Completed []FlowRecord
+	// OnFlowComplete, if set, fires per completion (workload round logic).
+	OnFlowComplete func(FlowRecord)
+	hooks          []func(FlowRecord)
+	startHooks     []func(id uint64, src, dst topology.NodeID, size int64)
+}
+
+// AddFlowCompleteHook registers an additional completion observer;
+// workload generators use this so several can coexist.
+func (n *Network) AddFlowCompleteHook(fn func(FlowRecord)) {
+	n.hooks = append(n.hooks, fn)
+}
+
+// AddFlowStartHook registers an observer called when a flow is admitted
+// (trace recorders, live dashboards).
+func (n *Network) AddFlowStartHook(fn func(id uint64, src, dst topology.NodeID, size int64)) {
+	n.startHooks = append(n.startHooks, fn)
+}
+
+// New builds and wires a network from cfg.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.NewClos(cfg.Clos)
+	if err != nil {
+		return nil, err
+	}
+	eng := eventsim.NewEngine(cfg.Seed)
+	n := &Network{
+		Eng: eng, Topo: topo, cfg: cfg,
+		hostByNode:   map[topology.NodeID]*rnic.Host{},
+		switchByNode: map[topology.NodeID]*netdev.Switch{},
+		switchParams: map[topology.NodeID]*dcqcn.Params{},
+		hostParams:   map[topology.NodeID]*dcqcn.Params{},
+		flowSizes:    map[uint64]int64{},
+	}
+	rp := cfg.Params
+	n.rnicParams = &rp
+
+	for _, sn := range topo.SwitchIDs() {
+		sp := cfg.Params
+		spp := &sp
+		n.switchParams[sn] = spp
+		sw := netdev.NewSwitch(eng, topo, sn, cfg.Switch, func() *dcqcn.Params { return spp })
+		n.Switches = append(n.Switches, sw)
+		n.switchByNode[sn] = sw
+	}
+	for _, hn := range topo.Hosts() {
+		hn := hn
+		h := rnic.NewHost(eng, topo, hn, func() *dcqcn.Params {
+			if p := n.hostParams[hn]; p != nil {
+				return p
+			}
+			return n.rnicParams
+		}, n.flowCompleted)
+		if cfg.MTU > 0 {
+			h.SetMTU(cfg.MTU)
+		}
+		n.Hosts = append(n.Hosts, h)
+		n.hostByNode[hn] = h
+	}
+
+	// Wire every link in both directions.
+	for i := range topo.Links {
+		l := &topo.Links[i]
+		devA, portA := n.devicePort(l.A, l.APort)
+		devB, portB := n.devicePort(l.B, l.BPort)
+		portA.SetPeer(devB, l.BPort)
+		portB.SetPeer(devA, l.APort)
+		_, _ = devA, devB
+	}
+	return n, nil
+}
+
+// devicePort resolves the Device and its EgressPort for a (node, port).
+func (n *Network) devicePort(node topology.NodeID, port int) (netdev.Device, *netdev.EgressPort) {
+	if h, ok := n.hostByNode[node]; ok {
+		if port != 0 {
+			panic(fmt.Sprintf("sim: host %d port %d, hosts have one port", node, port))
+		}
+		return h, h.Port()
+	}
+	sw := n.switchByNode[node]
+	return sw, sw.Port(port)
+}
+
+// Host returns the RNIC for a host node.
+func (n *Network) Host(node topology.NodeID) *rnic.Host { return n.hostByNode[node] }
+
+// Switch returns the device for a switch node.
+func (n *Network) Switch(node topology.NodeID) *netdev.Switch { return n.switchByNode[node] }
+
+// RNICParams exposes the live, shared RNIC parameter struct.
+func (n *Network) RNICParams() *dcqcn.Params { return n.rnicParams }
+
+// SwitchParams exposes the live parameter struct of one switch.
+func (n *Network) SwitchParams(node topology.NodeID) *dcqcn.Params { return n.switchParams[node] }
+
+// ApplyParams dispatches a homogeneous DCQCN setting to every RNIC and
+// switch — Paraleon's "dispatch P_m to RNICs and switches" step.
+func (n *Network) ApplyParams(p dcqcn.Params) {
+	*n.rnicParams = p
+	for _, sp := range n.switchParams {
+		*sp = p
+	}
+}
+
+// ApplyParamsToCluster dispatches a DCQCN setting only to the given ToR
+// switches and the hosts under them — the §V multi-cluster deployment
+// where each cluster's controller maintains heterogeneous parameters.
+// Host-side settings install as per-host overrides so other clusters'
+// hosts are untouched.
+func (n *Network) ApplyParamsToCluster(tors []topology.NodeID, p dcqcn.Params) {
+	inScope := make(map[topology.NodeID]bool, len(tors))
+	for _, tor := range tors {
+		inScope[tor] = true
+		if sp := n.switchParams[tor]; sp != nil {
+			*sp = p
+		}
+	}
+	for _, hn := range n.Topo.Hosts() {
+		if !inScope[n.Topo.ToROf(hn)] {
+			continue
+		}
+		if hp := n.hostParams[hn]; hp != nil {
+			*hp = p
+		} else {
+			cp := p
+			n.SetHostParams(hn, &cp)
+		}
+	}
+}
+
+// SetHostParams installs (or, with nil, clears) a per-host RNIC parameter
+// override; the host's QPs observe it on their next timer or CNP.
+func (n *Network) SetHostParams(node topology.NodeID, p *dcqcn.Params) {
+	if p == nil {
+		delete(n.hostParams, node)
+		return
+	}
+	n.hostParams[node] = p
+}
+
+// HostParams returns the live override for a host, or nil if it follows
+// the shared setting.
+func (n *Network) HostParams(node topology.NodeID) *dcqcn.Params { return n.hostParams[node] }
+
+// ApplySwitchECN retargets only the ECN thresholds of one switch (what an
+// ACC agent actuates).
+func (n *Network) ApplySwitchECN(node topology.NodeID, kmin, kmax int64, pmax float64) {
+	sp := n.switchParams[node]
+	sp.KminBytes, sp.KmaxBytes, sp.PMax = kmin, kmax, pmax
+}
+
+// StartFlow begins a size-byte flow src→dst now and returns its ID.
+func (n *Network) StartFlow(src, dst topology.NodeID, size int64) uint64 {
+	if src == dst {
+		panic("sim: flow to self")
+	}
+	id := n.nextFlowID
+	n.nextFlowID++
+	n.flowSizes[id] = size
+	for _, fn := range n.startHooks {
+		fn(id, src, dst, size)
+	}
+	n.hostByNode[dst].ExpectFlow(id, src, size, n.Eng.Now())
+	n.hostByNode[src].StartFlow(id, dst, size)
+	return id
+}
+
+// FlowSize reports the declared total size of a flow (0 if unknown). The
+// ground-truth oracle in internal/monitor classifies flows with it.
+func (n *Network) FlowSize(id uint64) int64 { return n.flowSizes[id] }
+
+// StartFlowAt schedules a flow to begin at absolute virtual time at.
+func (n *Network) StartFlowAt(at eventsim.Time, src, dst topology.NodeID, size int64) {
+	n.Eng.Schedule(at, func() { n.StartFlow(src, dst, size) })
+}
+
+func (n *Network) flowCompleted(id uint64, src, dst topology.NodeID, size int64, start, end eventsim.Time) {
+	rec := FlowRecord{ID: id, Src: src, Dst: dst, Size: size, Start: start, End: end}
+	n.Completed = append(n.Completed, rec)
+	if n.OnFlowComplete != nil {
+		n.OnFlowComplete(rec)
+	}
+	for _, fn := range n.hooks {
+		fn(rec)
+	}
+}
+
+// ActiveFlows sums in-progress sender flows across hosts.
+func (n *Network) ActiveFlows() int {
+	total := 0
+	for _, h := range n.Hosts {
+		total += h.ActiveFlows()
+	}
+	return total
+}
+
+// Run advances the simulation to absolute virtual time deadline.
+func (n *Network) Run(deadline eventsim.Time) { n.Eng.RunUntil(deadline) }
+
+// RunUntilIdle runs until no work remains or maxTime is reached, returning
+// the stop time. Useful for draining a fixed workload.
+func (n *Network) RunUntilIdle(maxTime eventsim.Time) eventsim.Time {
+	step := 100 * eventsim.Microsecond
+	for n.Eng.Now() < maxTime {
+		if n.Eng.Pending() == 0 {
+			break
+		}
+		next := n.Eng.Now() + step
+		if next > maxTime {
+			next = maxTime
+		}
+		n.Eng.RunUntil(next)
+		if n.ActiveFlows() == 0 && n.Eng.Pending() == 0 {
+			break
+		}
+	}
+	return n.Eng.Now()
+}
+
+// IdealFCT is the uncontended completion time of a flow: serialization of
+// every packet at the bottleneck host link plus the one-way base path
+// delay. FCT slowdowns (Fig 7) normalize against this.
+func (n *Network) IdealFCT(src, dst topology.NodeID, size int64) eventsim.Time {
+	mtu := n.cfg.MTU
+	if mtu <= 0 {
+		mtu = netdev.DefaultMTU
+	}
+	packets := (size + int64(mtu) - 1) / int64(mtu)
+	wire := size + packets*netdev.HeaderBytes
+	ser := eventsim.Time(float64(wire*8) / n.cfg.Clos.HostLinkBps * 1e9)
+	return ser + n.Topo.BasePathDelay(src, dst)
+}
+
+// HostLinkBps reports the configured host link rate.
+func (n *Network) HostLinkBps() float64 { return n.cfg.Clos.HostLinkBps }
+
+// Config returns the network's build configuration.
+func (n *Network) Config() Config { return n.cfg }

@@ -1,0 +1,220 @@
+// Package sketch implements Elastic Sketch (Yang et al., SIGCOMM 2018),
+// the per-flow measurement structure Paraleon deploys in every ToR data
+// plane. A Heavy Part of buckets tracks elephant candidates with the
+// "Ostracism" voting scheme (vote+ for the resident flow, vote− for
+// challengers; a challenger evicts the resident when vote−/vote+ crosses
+// λ). A Light Part — a count-min sketch — absorbs mice and evicted
+// residue.
+//
+// Unlike the original packet-count formulation, this implementation counts
+// bytes, which is what flow size distribution needs.
+package sketch
+
+import (
+	"sort"
+)
+
+// Config sizes a sketch instance.
+type Config struct {
+	// HeavyBuckets is the number of Heavy Part buckets (top-k capacity).
+	HeavyBuckets int
+	// LightRows and LightWidth shape the count-min Light Part.
+	LightRows  int
+	LightWidth int
+	// Lambda is the Ostracism eviction threshold: evict the resident when
+	// vote− ≥ λ·vote+ (the paper uses 8).
+	Lambda float64
+}
+
+// DefaultConfig is sized for a ToR observing a few thousand concurrent
+// flows: 512 heavy buckets, a 4×2048 light part.
+func DefaultConfig() Config {
+	return Config{HeavyBuckets: 512, LightRows: 4, LightWidth: 2048, Lambda: 8}
+}
+
+type bucket struct {
+	flow    uint64
+	votePos int64 // bytes credited to the resident flow
+	voteNeg int64 // bytes from challengers since the resident arrived
+	flag    bool  // resident may have earlier bytes in the Light Part
+	used    bool
+}
+
+// FlowSize pairs a flow with its estimated transferred bytes.
+type FlowSize struct {
+	Flow  uint64
+	Bytes int64
+}
+
+// Sketch is one Elastic Sketch instance. It is not safe for concurrent
+// use; in the simulation each switch owns one and the engine is
+// single-threaded.
+type Sketch struct {
+	cfg   Config
+	heavy []bucket
+	light []int64 // LightRows × LightWidth
+	seeds []uint64
+
+	// TotalBytes counts every inserted byte (ground total for shares).
+	TotalBytes int64
+	// Inserts counts Insert calls (≈ packets observed).
+	Inserts int64
+	// Evictions counts Ostracism replacements.
+	Evictions int64
+}
+
+// New builds a sketch; seed differentiates hash functions across switches.
+func New(cfg Config, seed uint64) *Sketch {
+	if cfg.HeavyBuckets <= 0 || cfg.LightRows <= 0 || cfg.LightWidth <= 0 {
+		panic("sketch: non-positive dimension")
+	}
+	if cfg.Lambda <= 0 {
+		panic("sketch: non-positive lambda")
+	}
+	s := &Sketch{
+		cfg:   cfg,
+		heavy: make([]bucket, cfg.HeavyBuckets),
+		light: make([]int64, cfg.LightRows*cfg.LightWidth),
+		seeds: make([]uint64, cfg.LightRows+1),
+	}
+	for i := range s.seeds {
+		seed = mix(seed + 0x9e3779b97f4a7c15)
+		s.seeds[i] = seed
+	}
+	return s
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *Sketch) heavyIndex(flow uint64) int {
+	return int(mix(flow^s.seeds[0]) % uint64(len(s.heavy)))
+}
+
+func (s *Sketch) lightIndex(row int, flow uint64) int {
+	return row*s.cfg.LightWidth + int(mix(flow^s.seeds[row+1])%uint64(s.cfg.LightWidth))
+}
+
+// Insert credits bytes to flow.
+func (s *Sketch) Insert(flow uint64, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	s.TotalBytes += bytes
+	s.Inserts++
+	b := &s.heavy[s.heavyIndex(flow)]
+	switch {
+	case !b.used:
+		*b = bucket{flow: flow, votePos: bytes, used: true}
+	case b.flow == flow:
+		b.votePos += bytes
+	default:
+		b.voteNeg += bytes
+		if float64(b.voteNeg) >= s.cfg.Lambda*float64(b.votePos) {
+			// Ostracize: flush the resident to the Light Part and seat
+			// the challenger. Its earlier bytes (counted as vote−) live
+			// in the Light Part, so flag it.
+			s.lightAdd(b.flow, b.votePos)
+			s.Evictions++
+			*b = bucket{flow: flow, votePos: bytes, flag: true, used: true}
+		} else {
+			s.lightAdd(flow, bytes)
+		}
+	}
+}
+
+func (s *Sketch) lightAdd(flow uint64, bytes int64) {
+	for r := 0; r < s.cfg.LightRows; r++ {
+		s.light[s.lightIndex(r, flow)] += bytes
+	}
+}
+
+func (s *Sketch) lightEstimate(flow uint64) int64 {
+	var min int64 = -1
+	for r := 0; r < s.cfg.LightRows; r++ {
+		v := s.light[s.lightIndex(r, flow)]
+		if min < 0 || v < min {
+			min = v
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Estimate returns the byte estimate for flow. For heavy residents the
+// estimate is exact up to Light Part residue; for everything else it is
+// the count-min estimate (never an underestimate).
+func (s *Sketch) Estimate(flow uint64) int64 {
+	b := &s.heavy[s.heavyIndex(flow)]
+	if b.used && b.flow == flow {
+		if b.flag {
+			return b.votePos + s.lightEstimate(flow)
+		}
+		return b.votePos
+	}
+	return s.lightEstimate(flow)
+}
+
+// HeavyFlows lists the Heavy Part residents with their full estimates,
+// largest first. This is what the switch control plane reads every monitor
+// interval.
+func (s *Sketch) HeavyFlows() []FlowSize {
+	out := make([]FlowSize, 0, len(s.heavy))
+	for i := range s.heavy {
+		b := &s.heavy[i]
+		if !b.used {
+			continue
+		}
+		size := b.votePos
+		if b.flag {
+			size += s.lightEstimate(b.flow)
+		}
+		out = append(out, FlowSize{Flow: b.flow, Bytes: size})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	return out
+}
+
+// HeavyBytes sums the Heavy Part residents' vote+ bytes.
+func (s *Sketch) HeavyBytes() int64 {
+	var total int64
+	for i := range s.heavy {
+		if s.heavy[i].used {
+			total += s.heavy[i].votePos
+		}
+	}
+	return total
+}
+
+// LightBytes is the total mass absorbed by the Light Part, computed as
+// one row's sum (every row receives every insert).
+func (s *Sketch) LightBytes() int64 {
+	var total int64
+	for i := 0; i < s.cfg.LightWidth; i++ {
+		total += s.light[i]
+	}
+	return total
+}
+
+// Reset clears all state (the per-interval read-and-reset the agent does).
+func (s *Sketch) Reset() {
+	for i := range s.heavy {
+		s.heavy[i] = bucket{}
+	}
+	for i := range s.light {
+		s.light[i] = 0
+	}
+	s.TotalBytes = 0
+	s.Inserts = 0
+	s.Evictions = 0
+}

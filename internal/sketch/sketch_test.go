@@ -1,0 +1,223 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactForFewFlows(t *testing.T) {
+	s := New(DefaultConfig(), 1)
+	s.Insert(1, 1000)
+	s.Insert(2, 500)
+	s.Insert(1, 2000)
+	if got := s.Estimate(1); got != 3000 {
+		t.Errorf("Estimate(1) = %d, want 3000", got)
+	}
+	if got := s.Estimate(2); got != 500 {
+		t.Errorf("Estimate(2) = %d, want 500", got)
+	}
+	if got := s.Estimate(999); got != 0 {
+		t.Errorf("Estimate(unknown) = %d, want 0", got)
+	}
+	if s.TotalBytes != 3500 || s.Inserts != 3 {
+		t.Errorf("totals = %d/%d, want 3500/3", s.TotalBytes, s.Inserts)
+	}
+}
+
+func TestZeroAndNegativeInsertIgnored(t *testing.T) {
+	s := New(DefaultConfig(), 1)
+	s.Insert(1, 0)
+	s.Insert(1, -5)
+	if s.TotalBytes != 0 || s.Inserts != 0 {
+		t.Error("zero/negative insert was counted")
+	}
+}
+
+func TestOstracismEvictsMouseForElephant(t *testing.T) {
+	// One bucket forces every flow to collide.
+	s := New(Config{HeavyBuckets: 1, LightRows: 2, LightWidth: 64, Lambda: 2}, 1)
+	s.Insert(1, 100) // resident mouse
+	// Flow 2 hammers the bucket: vote− grows past λ·vote+ and evicts.
+	for i := 0; i < 10; i++ {
+		s.Insert(2, 100)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no eviction despite challenger dominance")
+	}
+	heavy := s.HeavyFlows()
+	if len(heavy) != 1 || heavy[0].Flow != 2 {
+		t.Fatalf("heavy part holds %v, want flow 2", heavy)
+	}
+	// The evicted mouse's bytes survive in the light part.
+	if got := s.Estimate(1); got < 100 {
+		t.Errorf("evicted flow estimate %d, want >= 100", got)
+	}
+	// The elephant's pre-eviction bytes were vote−, flushed to light and
+	// recovered via the flag.
+	if got := s.Estimate(2); got < 1000 {
+		t.Errorf("elephant estimate %d, want >= 1000 (flag-recovered)", got)
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cfg := Config{HeavyBuckets: 8, LightRows: 3, LightWidth: 128, Lambda: 8}
+	f := func(seed int64) bool {
+		s := New(cfg, uint64(seed))
+		rng := rand.New(rand.NewSource(seed))
+		truth := map[uint64]int64{}
+		for i := 0; i < 500; i++ {
+			flow := uint64(rng.Intn(60))
+			b := int64(rng.Intn(1400) + 1)
+			truth[flow] += b
+			s.Insert(flow, b)
+		}
+		for flow, actual := range truth {
+			if s.Estimate(flow) < actual {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElephantsSurviveMiceStorm(t *testing.T) {
+	s := New(DefaultConfig(), 42)
+	rng := rand.New(rand.NewSource(7))
+	// 4 elephants send steadily while 2000 mice ping once each.
+	elephants := []uint64{1 << 40, 2 << 40, 3 << 40, 4 << 40}
+	for round := 0; round < 200; round++ {
+		for _, e := range elephants {
+			s.Insert(e, 10000)
+		}
+		for i := 0; i < 10; i++ {
+			s.Insert(uint64(rng.Int63()), 200)
+		}
+	}
+	heavy := s.HeavyFlows()
+	top := map[uint64]bool{}
+	for i, fs := range heavy {
+		if i >= 8 {
+			break
+		}
+		top[fs.Flow] = true
+	}
+	for _, e := range elephants {
+		if !top[e] {
+			t.Errorf("elephant %d missing from heavy part top-8", e)
+		}
+		if got := s.Estimate(e); got < 2_000_000*9/10 {
+			t.Errorf("elephant %d estimate %d, want ~2MB", e, got)
+		}
+	}
+}
+
+func TestHeavyFlowsSorted(t *testing.T) {
+	s := New(DefaultConfig(), 1)
+	s.Insert(10, 500)
+	s.Insert(20, 1500)
+	s.Insert(30, 1000)
+	hf := s.HeavyFlows()
+	if len(hf) != 3 {
+		t.Fatalf("heavy flows = %d, want 3", len(hf))
+	}
+	for i := 1; i < len(hf); i++ {
+		if hf[i].Bytes > hf[i-1].Bytes {
+			t.Errorf("not sorted: %v", hf)
+		}
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// Heavy vote+ plus light mass accounts for every inserted byte.
+	f := func(seed int64) bool {
+		s := New(Config{HeavyBuckets: 4, LightRows: 2, LightWidth: 32, Lambda: 4}, uint64(seed))
+		rng := rand.New(rand.NewSource(seed))
+		var total int64
+		for i := 0; i < 300; i++ {
+			b := int64(rng.Intn(999) + 1)
+			s.Insert(uint64(rng.Intn(20)), b)
+			total += b
+		}
+		return s.HeavyBytes()+s.LightBytes() == total && s.TotalBytes == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(DefaultConfig(), 1)
+	s.Insert(1, 1000)
+	s.Insert(2, 2000)
+	s.Reset()
+	if s.TotalBytes != 0 || s.Inserts != 0 || s.Evictions != 0 {
+		t.Error("counters not reset")
+	}
+	if s.Estimate(1) != 0 || s.Estimate(2) != 0 {
+		t.Error("estimates survive reset")
+	}
+	if len(s.HeavyFlows()) != 0 {
+		t.Error("heavy part survives reset")
+	}
+	// Usable after reset.
+	s.Insert(3, 777)
+	if s.Estimate(3) != 777 {
+		t.Error("sketch unusable after reset")
+	}
+}
+
+func TestDifferentSeedsDifferentHashes(t *testing.T) {
+	a := New(Config{HeavyBuckets: 64, LightRows: 2, LightWidth: 64, Lambda: 8}, 1)
+	b := New(Config{HeavyBuckets: 64, LightRows: 2, LightWidth: 64, Lambda: 8}, 2)
+	same := 0
+	for f := uint64(0); f < 100; f++ {
+		if a.heavyIndex(f) == b.heavyIndex(f) {
+			same++
+		}
+	}
+	if same > 30 {
+		t.Errorf("%d/100 identical bucket choices across seeds; hashing not seed-sensitive", same)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	bad := []Config{
+		{HeavyBuckets: 0, LightRows: 1, LightWidth: 1, Lambda: 1},
+		{HeavyBuckets: 1, LightRows: 0, LightWidth: 1, Lambda: 1},
+		{HeavyBuckets: 1, LightRows: 1, LightWidth: 0, Lambda: 1},
+		{HeavyBuckets: 1, LightRows: 1, LightWidth: 1, Lambda: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg, 1)
+		}()
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New(DefaultConfig(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint64(i%1000), 1048)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := New(DefaultConfig(), 1)
+	for i := 0; i < 10000; i++ {
+		s.Insert(uint64(i%1000), 1048)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Estimate(uint64(i % 1000))
+	}
+}

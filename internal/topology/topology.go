@@ -1,0 +1,348 @@
+// Package topology describes the physical fabric a simulation runs on:
+// nodes (hosts and switches), point-to-point links with rate and
+// propagation delay, and ECMP routing tables computed over shortest paths.
+//
+// The package is pure data — it knows nothing about queues, packets, or
+// congestion control. internal/netdev and internal/sim instantiate device
+// models from these descriptions.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventsim"
+)
+
+// NodeID identifies a node within one Topology.
+type NodeID int
+
+// Kind distinguishes traffic endpoints from forwarding devices.
+type Kind int
+
+const (
+	// Host is a server with an RNIC; the source and sink of RDMA flows.
+	Host Kind = iota
+	// ToRSwitch is a top-of-rack switch: the first hop for hosts and the
+	// measurement point where Paraleon's sketches run.
+	ToRSwitch
+	// LeafSwitch is a second-tier (spine) switch interconnecting ToRs.
+	LeafSwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case ToRSwitch:
+		return "tor"
+	case LeafSwitch:
+		return "leaf"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is one device in the fabric.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Name string
+	// Ports lists this node's attached links; Ports[i] is the link on
+	// local port i.
+	Ports []LinkID
+}
+
+// LinkID identifies a link within one Topology.
+type LinkID int
+
+// Link is a full-duplex point-to-point cable between two node ports.
+type Link struct {
+	ID LinkID
+	// A and B are the endpoints; APort/BPort are the port indices on each.
+	A, B         NodeID
+	APort, BPort int
+	// RateBps is the line rate in bits per second (both directions).
+	RateBps float64
+	// PropDelay is the one-way propagation delay.
+	PropDelay eventsim.Time
+}
+
+// Peer reports the node on the other end of the link from n, along with
+// the remote port index.
+func (l *Link) Peer(n NodeID) (NodeID, int) {
+	if n == l.A {
+		return l.B, l.BPort
+	}
+	if n == l.B {
+		return l.A, l.APort
+	}
+	panic(fmt.Sprintf("topology: node %d not on link %d", n, l.ID))
+}
+
+// Topology is an immutable fabric description plus derived routing state.
+type Topology struct {
+	Nodes []Node
+	Links []Link
+
+	// nextHops[src][dst] lists the local ports at src that lie on a
+	// shortest path toward dst, sorted for determinism. ECMP picks among
+	// them by flow hash.
+	nextHops [][][]int
+	// hopCount[src][dst] is the number of links on a shortest path.
+	hopCount [][]int
+	// pathDelay[src][dst] is the summed propagation delay along a
+	// shortest path (Swift-style "base path delay" numerator, before
+	// adding serialization).
+	pathDelay [][]eventsim.Time
+
+	hosts []NodeID
+}
+
+// AddNode appends a node of the given kind and returns its ID.
+func (t *Topology) AddNode(kind Kind, name string) NodeID {
+	id := NodeID(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Name: name})
+	if kind == Host {
+		t.hosts = append(t.hosts, id)
+	}
+	return id
+}
+
+// AddLink connects a and b with a full-duplex link and returns its ID.
+// Port numbers are assigned in call order on each node.
+func (t *Topology) AddLink(a, b NodeID, rateBps float64, prop eventsim.Time) LinkID {
+	if rateBps <= 0 {
+		panic("topology: non-positive link rate")
+	}
+	id := LinkID(len(t.Links))
+	na, nb := &t.Nodes[a], &t.Nodes[b]
+	l := Link{
+		ID: id, A: a, B: b,
+		APort: len(na.Ports), BPort: len(nb.Ports),
+		RateBps: rateBps, PropDelay: prop,
+	}
+	t.Links = append(t.Links, l)
+	na.Ports = append(na.Ports, id)
+	nb.Ports = append(nb.Ports, id)
+	t.nextHops = nil // invalidate routing
+	return id
+}
+
+// Hosts returns the IDs of all host nodes, in creation order.
+func (t *Topology) Hosts() []NodeID { return t.hosts }
+
+// SwitchIDs returns the IDs of all switch nodes (ToR and leaf).
+func (t *Topology) SwitchIDs() []NodeID {
+	var out []NodeID
+	for _, n := range t.Nodes {
+		if n.Kind != Host {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// ToRs returns the IDs of all ToR switches.
+func (t *Topology) ToRs() []NodeID {
+	var out []NodeID
+	for _, n := range t.Nodes {
+		if n.Kind == ToRSwitch {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// ComputeRoutes (re)builds shortest-path ECMP tables for every node pair.
+// It must be called after the last AddLink and before NextHops, HopCount,
+// or BasePathDelay.
+func (t *Topology) ComputeRoutes() {
+	n := len(t.Nodes)
+	t.nextHops = make([][][]int, n)
+	t.hopCount = make([][]int, n)
+	t.pathDelay = make([][]eventsim.Time, n)
+
+	// BFS from every destination over the unweighted link graph; hop
+	// count is the routing metric (links are homogeneous within a tier,
+	// and DC fabrics route on hops). Propagation delay accumulates along
+	// one arbitrary shortest path; with symmetric CLOS wiring all
+	// shortest paths have equal delay.
+	for dst := 0; dst < n; dst++ {
+		dist := make([]int, n)
+		delay := make([]eventsim.Time, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue := []int{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, lid := range t.Nodes[cur].Ports {
+				l := &t.Links[lid]
+				peer, _ := l.Peer(NodeID(cur))
+				if dist[peer] == -1 {
+					dist[peer] = dist[cur] + 1
+					delay[peer] = delay[cur] + l.PropDelay
+					queue = append(queue, int(peer))
+				}
+			}
+		}
+		for src := 0; src < n; src++ {
+			if t.nextHops[src] == nil {
+				t.nextHops[src] = make([][]int, n)
+				t.hopCount[src] = make([]int, n)
+				t.pathDelay[src] = make([]eventsim.Time, n)
+			}
+			t.hopCount[src][dst] = dist[src]
+			t.pathDelay[src][dst] = delay[src]
+			if src == dst || dist[src] <= 0 {
+				continue
+			}
+			var ports []int
+			for portIdx, lid := range t.Nodes[src].Ports {
+				l := &t.Links[lid]
+				peer, _ := l.Peer(NodeID(src))
+				if dist[peer] >= 0 && dist[peer] == dist[src]-1 {
+					ports = append(ports, portIdx)
+				}
+			}
+			sort.Ints(ports)
+			t.nextHops[src][dst] = ports
+		}
+	}
+}
+
+// NextHops returns the ECMP port set at src toward dst. Empty means
+// unreachable (or src == dst).
+func (t *Topology) NextHops(src, dst NodeID) []int {
+	t.mustRouted()
+	return t.nextHops[src][dst]
+}
+
+// HopCount returns the number of links on a shortest path from src to dst,
+// or -1 if unreachable.
+func (t *Topology) HopCount(src, dst NodeID) int {
+	t.mustRouted()
+	return t.hopCount[src][dst]
+}
+
+// BasePathDelay returns the summed one-way propagation delay on a shortest
+// path from src to dst. This is the n·d term of Swift's base path delay
+// used to normalize RTT in the Paraleon utility function.
+func (t *Topology) BasePathDelay(src, dst NodeID) eventsim.Time {
+	t.mustRouted()
+	return t.pathDelay[src][dst]
+}
+
+func (t *Topology) mustRouted() {
+	if t.nextHops == nil {
+		panic("topology: ComputeRoutes not called (or topology modified since)")
+	}
+}
+
+// LinkAt returns the link attached to the given local port of node n.
+func (t *Topology) LinkAt(n NodeID, port int) *Link {
+	return &t.Links[t.Nodes[n].Ports[port]]
+}
+
+// ClosConfig parameterizes a two-tier CLOS fabric: hostsPerToR hosts under
+// each of NumToR ToR switches, with every ToR wired to every one of
+// NumLeaf leaf switches.
+type ClosConfig struct {
+	NumToR      int
+	NumLeaf     int
+	HostsPerToR int
+	// HostLinkBps and FabricLinkBps are the line rates of host↔ToR and
+	// ToR↔leaf links. With equal rates the over-subscription ratio is
+	// HostsPerToR : NumLeaf.
+	HostLinkBps   float64
+	FabricLinkBps float64
+	// PropDelay is the one-way propagation delay of every link.
+	PropDelay eventsim.Time
+}
+
+// Validate reports whether the configuration is structurally sound.
+func (c ClosConfig) Validate() error {
+	switch {
+	case c.NumToR <= 0:
+		return fmt.Errorf("clos: NumToR = %d, need > 0", c.NumToR)
+	case c.NumLeaf < 0:
+		return fmt.Errorf("clos: NumLeaf = %d, need >= 0", c.NumLeaf)
+	case c.NumLeaf == 0 && c.NumToR > 1:
+		return fmt.Errorf("clos: %d ToRs but no leaves to connect them", c.NumToR)
+	case c.HostsPerToR <= 0:
+		return fmt.Errorf("clos: HostsPerToR = %d, need > 0", c.HostsPerToR)
+	case c.HostLinkBps <= 0 || (c.FabricLinkBps <= 0 && c.NumLeaf > 0):
+		return fmt.Errorf("clos: non-positive link rate")
+	case c.PropDelay < 0:
+		return fmt.Errorf("clos: negative propagation delay")
+	}
+	return nil
+}
+
+// Oversubscription reports the ToR downlink:uplink capacity ratio.
+func (c ClosConfig) Oversubscription() float64 {
+	if c.NumLeaf == 0 {
+		return 0
+	}
+	return (float64(c.HostsPerToR) * c.HostLinkBps) / (float64(c.NumLeaf) * c.FabricLinkBps)
+}
+
+// PaperClosConfig is the NS-3 topology from §IV-B: 8 ToRs, 4 leaves,
+// 128 servers, all links 100 Gbps with 5 µs propagation delay (4:1
+// over-subscribed).
+func PaperClosConfig() ClosConfig {
+	return ClosConfig{
+		NumToR:        8,
+		NumLeaf:       4,
+		HostsPerToR:   16,
+		HostLinkBps:   100e9,
+		FabricLinkBps: 100e9,
+		PropDelay:     5 * eventsim.Microsecond,
+	}
+}
+
+// NewClos builds a two-tier CLOS per cfg, computes routes, and returns the
+// topology. Host i lives under ToR i/HostsPerToR.
+func NewClos(cfg ClosConfig) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{}
+	tors := make([]NodeID, cfg.NumToR)
+	for i := range tors {
+		tors[i] = t.AddNode(ToRSwitch, fmt.Sprintf("tor%d", i))
+	}
+	leaves := make([]NodeID, cfg.NumLeaf)
+	for i := range leaves {
+		leaves[i] = t.AddNode(LeafSwitch, fmt.Sprintf("leaf%d", i))
+	}
+	for ti, tor := range tors {
+		for hi := 0; hi < cfg.HostsPerToR; hi++ {
+			h := t.AddNode(Host, fmt.Sprintf("h%d", ti*cfg.HostsPerToR+hi))
+			t.AddLink(h, tor, cfg.HostLinkBps, cfg.PropDelay)
+		}
+		for _, leaf := range leaves {
+			t.AddLink(tor, leaf, cfg.FabricLinkBps, cfg.PropDelay)
+		}
+	}
+	t.ComputeRoutes()
+	return t, nil
+}
+
+// ToROf returns the ToR switch a host hangs off, or -1 if n is not a host
+// or has no switch neighbor.
+func (t *Topology) ToROf(n NodeID) NodeID {
+	if t.Nodes[n].Kind != Host {
+		return -1
+	}
+	for _, lid := range t.Nodes[n].Ports {
+		peer, _ := t.Links[lid].Peer(n)
+		if t.Nodes[peer].Kind == ToRSwitch {
+			return peer
+		}
+	}
+	return -1
+}

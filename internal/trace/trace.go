@@ -1,0 +1,155 @@
+// Package trace records simulation events as JSON Lines for offline
+// analysis: flow starts and completions, parameter dispatches, monitor
+// samples, and PFC activity. A production operator's first question when
+// a tuner misbehaves is "what exactly did it do, when?" — this is that
+// audit log.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Event kinds.
+const (
+	KindFlowStart    = "flow_start"
+	KindFlowComplete = "flow_complete"
+	KindDispatch     = "dispatch"
+	KindSample       = "sample"
+	KindTrigger      = "trigger"
+	KindNote         = "note"
+)
+
+// Event is one recorded occurrence. Unused fields are omitted from the
+// encoding.
+type Event struct {
+	// T is virtual time in nanoseconds.
+	T    int64  `json:"t"`
+	Kind string `json:"kind"`
+
+	FlowID *uint64 `json:"flow,omitempty"`
+	Src    *int    `json:"src,omitempty"`
+	Dst    *int    `json:"dst,omitempty"`
+	Size   *int64  `json:"size,omitempty"`
+	FCTNs  *int64  `json:"fct_ns,omitempty"`
+
+	Params *dcqcn.Params `json:"params,omitempty"`
+
+	OTP  *float64 `json:"otp,omitempty"`
+	ORTT *float64 `json:"ortt,omitempty"`
+	OPFC *float64 `json:"opfc,omitempty"`
+
+	ElephantShare *float64 `json:"elephant_share,omitempty"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// Recorder streams events to a writer as JSON Lines. It is not safe for
+// concurrent use; the simulation is single-threaded.
+type Recorder struct {
+	eng *eventsim.Engine
+	bw  *bufio.Writer
+	enc *json.Encoder
+
+	// Events counts records written; Err holds the first write error
+	// (subsequent writes are dropped).
+	Events int
+	Err    error
+}
+
+// NewRecorder builds a recorder stamping events with eng's clock.
+func NewRecorder(eng *eventsim.Engine, w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{eng: eng, bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// AttachNetwork subscribes to n's flow lifecycle.
+func (r *Recorder) AttachNetwork(n *sim.Network) {
+	n.AddFlowStartHook(func(id uint64, src, dst topology.NodeID, size int64) {
+		s, d := int(src), int(dst)
+		r.emit(Event{Kind: KindFlowStart, FlowID: &id, Src: &s, Dst: &d, Size: &size})
+	})
+	n.AddFlowCompleteHook(func(rec sim.FlowRecord) {
+		s, d := int(rec.Src), int(rec.Dst)
+		size := rec.Size
+		fct := int64(rec.FCT())
+		id := rec.ID
+		r.emit(Event{Kind: KindFlowComplete, FlowID: &id, Src: &s, Dst: &d, Size: &size, FCTNs: &fct})
+	})
+}
+
+// Dispatch records a parameter update pushed to the fabric.
+func (r *Recorder) Dispatch(p dcqcn.Params) {
+	r.emit(Event{Kind: KindDispatch, Params: &p})
+}
+
+// Sample records one monitor interval's runtime metrics.
+func (r *Recorder) Sample(s monitor.RuntimeSample) {
+	otp, ortt, opfc := s.OTP, s.ORTT, s.OPFC
+	r.emit(Event{Kind: KindSample, OTP: &otp, ORTT: &ortt, OPFC: &opfc})
+}
+
+// Trigger records a tuning trigger with the firing distribution.
+func (r *Recorder) Trigger(fsd monitor.FSD) {
+	share := fsd.ElephantFlowShare
+	r.emit(Event{Kind: KindTrigger, ElephantShare: &share})
+}
+
+// Note records a free-form annotation.
+func (r *Recorder) Note(format string, args ...any) {
+	r.emit(Event{Kind: KindNote, Note: fmt.Sprintf(format, args...)})
+}
+
+func (r *Recorder) emit(e Event) {
+	if r.Err != nil {
+		return
+	}
+	e.T = int64(r.eng.Now())
+	if err := r.enc.Encode(&e); err != nil {
+		r.Err = err
+		return
+	}
+	r.Events++
+}
+
+// Flush drains buffered output; call before reading the destination.
+func (r *Recorder) Flush() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return r.bw.Flush()
+}
+
+// Read parses a JSON Lines event stream back into memory.
+func Read(rd io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(rd)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: record %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Filter returns the events of one kind.
+func Filter(events []Event, kind string) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

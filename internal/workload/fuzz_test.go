@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace: arbitrary CSV input must never panic, and anything that
+// loads must survive a save/load round trip unchanged.
+func FuzzLoadTrace(f *testing.F) {
+	f.Add("start_ns,src,dst,bytes\n1000,0,1,5000\n")
+	f.Add("start_ns,src,dst,bytes\n")
+	f.Add("garbage")
+	f.Add("start_ns,src,dst,bytes\n1,0,1,100\n2,1,0,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		flows, err := LoadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, fl := range flows {
+			if fl.Bytes <= 0 || fl.SrcIndex == fl.DstIndex || fl.StartNs < 0 {
+				t.Fatalf("invalid flow passed validation: %+v", fl)
+			}
+		}
+		var buf bytes.Buffer
+		if err := SaveTrace(&buf, flows); err != nil {
+			t.Fatalf("save of loaded trace failed: %v", err)
+		}
+		again, err := LoadTrace(&buf)
+		if err != nil {
+			t.Fatalf("reload failed: %v", err)
+		}
+		if len(again) != len(flows) {
+			t.Fatalf("round trip lost flows: %d vs %d", len(again), len(flows))
+		}
+	})
+}

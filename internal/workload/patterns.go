@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/eventsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// IncastConfig drives the classic partition/aggregate pattern: FanIn
+// senders each push MessageBytes to one aggregator, Repeat times with
+// Gap between waves. Incast is the scenario DCQCN+ targets and the
+// stress case for PFC.
+type IncastConfig struct {
+	// Aggregator receives; nil Senders means every other host sends.
+	Aggregator topology.NodeID
+	Senders    []topology.NodeID
+	// FanIn bounds the sender count (0 = all senders).
+	FanIn        int
+	MessageBytes int64
+	Repeat       int
+	Gap          eventsim.Time
+	Start        eventsim.Time
+}
+
+// IncastGen is an installed incast workload.
+type IncastGen struct {
+	net *sim.Network
+	cfg IncastConfig
+
+	pending map[uint64]bool
+	// FlowIDs records all launched flows; WaveDurations each wave's
+	// completion time.
+	FlowIDs       map[uint64]bool
+	WaveDurations []eventsim.Time
+	waveAt        eventsim.Time
+	wavesLeft     int
+}
+
+// InstallIncast schedules the workload on n.
+func InstallIncast(n *sim.Network, cfg IncastConfig) (*IncastGen, error) {
+	if cfg.Senders == nil {
+		for _, h := range n.Topo.Hosts() {
+			if h != cfg.Aggregator {
+				cfg.Senders = append(cfg.Senders, h)
+			}
+		}
+	}
+	if cfg.FanIn > 0 && cfg.FanIn < len(cfg.Senders) {
+		cfg.Senders = cfg.Senders[:cfg.FanIn]
+	}
+	if len(cfg.Senders) == 0 {
+		return nil, fmt.Errorf("workload: incast with no senders")
+	}
+	for _, s := range cfg.Senders {
+		if s == cfg.Aggregator {
+			return nil, fmt.Errorf("workload: aggregator %d among senders", cfg.Aggregator)
+		}
+	}
+	if cfg.MessageBytes <= 0 {
+		return nil, fmt.Errorf("workload: non-positive incast message")
+	}
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 1
+	}
+	g := &IncastGen{
+		net: n, cfg: cfg,
+		pending:   map[uint64]bool{},
+		FlowIDs:   map[uint64]bool{},
+		wavesLeft: cfg.Repeat,
+	}
+	n.AddFlowCompleteHook(g.onComplete)
+	n.Eng.Schedule(cfg.Start, g.wave)
+	return g, nil
+}
+
+// WavesDone reports completed waves.
+func (g *IncastGen) WavesDone() int { return len(g.WaveDurations) }
+
+func (g *IncastGen) wave() {
+	if g.wavesLeft <= 0 {
+		return
+	}
+	g.wavesLeft--
+	g.waveAt = g.net.Eng.Now()
+	for _, s := range g.cfg.Senders {
+		id := g.net.StartFlow(s, g.cfg.Aggregator, g.cfg.MessageBytes)
+		g.pending[id] = true
+		g.FlowIDs[id] = true
+	}
+}
+
+func (g *IncastGen) onComplete(rec sim.FlowRecord) {
+	if !g.pending[rec.ID] {
+		return
+	}
+	delete(g.pending, rec.ID)
+	if len(g.pending) > 0 {
+		return
+	}
+	g.WaveDurations = append(g.WaveDurations, g.net.Eng.Now()-g.waveAt)
+	if g.wavesLeft > 0 {
+		g.net.Eng.After(g.cfg.Gap, g.wave)
+	}
+}
+
+// PermutationConfig drives a permutation workload: each host sends one
+// flow to a distinct peer (a cyclic shift), the canonical pattern for
+// measuring a fabric's bisection behaviour without incast.
+type PermutationConfig struct {
+	// Hosts participate; nil means all. Shift is the cyclic distance
+	// (default 1; must not be a multiple of the host count).
+	Hosts []topology.NodeID
+	Shift int
+	Bytes int64
+	Start eventsim.Time
+}
+
+// PermutationGen is an installed permutation workload; FlowIDs fills
+// (in host order) when the start event fires.
+type PermutationGen struct {
+	FlowIDs  []uint64
+	Launched bool
+}
+
+// InstallPermutation schedules the workload.
+func InstallPermutation(n *sim.Network, cfg PermutationConfig) (*PermutationGen, error) {
+	hosts := cfg.Hosts
+	if hosts == nil {
+		hosts = n.Topo.Hosts()
+	}
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("workload: permutation needs >= 2 hosts")
+	}
+	shift := cfg.Shift
+	if shift == 0 {
+		shift = 1
+	}
+	if shift%len(hosts) == 0 {
+		return nil, fmt.Errorf("workload: shift %d maps hosts to themselves", shift)
+	}
+	if cfg.Bytes <= 0 {
+		return nil, fmt.Errorf("workload: non-positive permutation size")
+	}
+	g := &PermutationGen{}
+	n.Eng.Schedule(cfg.Start, func() {
+		for i, src := range hosts {
+			dst := hosts[(i+shift)%len(hosts)]
+			g.FlowIDs = append(g.FlowIDs, n.StartFlow(src, dst, cfg.Bytes))
+		}
+		g.Launched = true
+	})
+	return g, nil
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/eventsim"
+	"repro/internal/sim"
+)
+
+// TraceFlow is one flow of a recorded or hand-written trace. Endpoints
+// are host *indices* (position in Topology.Hosts()), not node IDs, so a
+// trace replays on any fabric with at least as many hosts.
+type TraceFlow struct {
+	StartNs  int64
+	SrcIndex int
+	DstIndex int
+	Bytes    int64
+}
+
+// traceHeader is the CSV schema.
+var traceHeader = []string{"start_ns", "src", "dst", "bytes"}
+
+// SaveTrace writes flows as CSV (sorted by start time) for later replay
+// or external analysis.
+func SaveTrace(w io.Writer, flows []TraceFlow) error {
+	sorted := append([]TraceFlow(nil), flows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].StartNs < sorted[j].StartNs })
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return err
+	}
+	for _, f := range sorted {
+		rec := []string{
+			strconv.FormatInt(f.StartNs, 10),
+			strconv.Itoa(f.SrcIndex),
+			strconv.Itoa(f.DstIndex),
+			strconv.FormatInt(f.Bytes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadTrace parses a CSV trace written by SaveTrace (or by hand).
+func LoadTrace(r io.Reader) ([]TraceFlow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: trace: empty file")
+	}
+	for i, name := range traceHeader {
+		if rows[0][i] != name {
+			return nil, fmt.Errorf("workload: trace: header %v, want %v", rows[0], traceHeader)
+		}
+	}
+	out := make([]TraceFlow, 0, len(rows)-1)
+	for line, row := range rows[1:] {
+		var f TraceFlow
+		var errs [4]error
+		f.StartNs, errs[0] = strconv.ParseInt(row[0], 10, 64)
+		f.SrcIndex, errs[1] = strconv.Atoi(row[1])
+		f.DstIndex, errs[2] = strconv.Atoi(row[2])
+		f.Bytes, errs[3] = strconv.ParseInt(row[3], 10, 64)
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("workload: trace line %d: %w", line+2, e)
+			}
+		}
+		if f.StartNs < 0 || f.Bytes <= 0 || f.SrcIndex < 0 || f.DstIndex < 0 || f.SrcIndex == f.DstIndex {
+			return nil, fmt.Errorf("workload: trace line %d: invalid flow %+v", line+2, f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// RecordTrace converts a finished simulation's flow records back into a
+// replayable trace.
+func RecordTrace(n *sim.Network, records []sim.FlowRecord) []TraceFlow {
+	index := map[int]int{}
+	for i, h := range n.Topo.Hosts() {
+		index[int(h)] = i
+	}
+	out := make([]TraceFlow, 0, len(records))
+	for _, r := range records {
+		out = append(out, TraceFlow{
+			StartNs:  int64(r.Start),
+			SrcIndex: index[int(r.Src)],
+			DstIndex: index[int(r.Dst)],
+			Bytes:    r.Size,
+		})
+	}
+	return out
+}
+
+// InstallReplay schedules a trace on n, offset so the first flow starts
+// at `start`. It fails if the trace references hosts the fabric lacks.
+func InstallReplay(n *sim.Network, flows []TraceFlow, start eventsim.Time) error {
+	if len(flows) == 0 {
+		return fmt.Errorf("workload: empty trace")
+	}
+	hosts := n.Topo.Hosts()
+	base := flows[0].StartNs
+	for _, f := range flows {
+		if f.StartNs < base {
+			base = f.StartNs
+		}
+		if f.SrcIndex >= len(hosts) || f.DstIndex >= len(hosts) {
+			return fmt.Errorf("workload: trace references host %d/%d, fabric has %d",
+				f.SrcIndex, f.DstIndex, len(hosts))
+		}
+	}
+	for _, f := range flows {
+		at := start + eventsim.Time(f.StartNs-base)
+		n.StartFlowAt(at, hosts[f.SrcIndex], hosts[f.DstIndex], f.Bytes)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package paraleon is a from-scratch Go reproduction of "PARALEON
+// (Chameleon): Automatic and Adaptive Tuning for DCQCN Parameters in RDMA
+// Networks": a packet-level RoCEv2 simulator (DCQCN + PFC + ECN on CLOS
+// fabrics), Paraleon's sketch-based millisecond runtime monitor and
+// guided simulated-annealing parameter tuner, the paper's baselines (ACC,
+// DCQCN+, NetFlow, static expert settings), and a real TCP control plane
+// mirroring the prototype.
+//
+// This file is the public facade: it re-exports the pieces a downstream
+// user composes, so examples and applications can work from a single
+// import. The implementation lives under internal/, one package per
+// subsystem:
+//
+//	eventsim  – deterministic discrete-event engine
+//	topology  – CLOS fabrics and ECMP routing
+//	netdev    – switches, ports, PFC, ECN marking
+//	dcqcn     – the full DCQCN parameter surface and RP/NP machines
+//	rnic      – host RNICs, QP pacing, RTT probes
+//	sim       – wiring it into a runnable network
+//	sketch    – Elastic Sketch
+//	monitor   – ternary flow states, FSD aggregation, KL trigger
+//	core      – utility function and the improved SA tuner
+//	baselines – ACC, DCQCN+, NetFlow
+//	workload  – FB_Hadoop / SolarRPC / alltoall generators
+//	metrics   – slowdowns, CDFs, time series
+//	ctrlrpc   – the real TCP control plane
+//	harness   – one runner per paper table/figure
+package paraleon
+
+import (
+	"repro/internal/core"
+	"repro/internal/ctrlrpc"
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time = eventsim.Time
+
+// Common durations.
+const (
+	Microsecond = eventsim.Microsecond
+	Millisecond = eventsim.Millisecond
+	Second      = eventsim.Second
+)
+
+// Params is the full DCQCN parameter vector (RNIC + switch ECN).
+type Params = dcqcn.Params
+
+// DefaultParams is the NVIDIA default setting; ExpertParams the
+// hand-tuned Table I setting.
+var (
+	DefaultParams = dcqcn.DefaultParams
+	ExpertParams  = dcqcn.ExpertParams
+)
+
+// Network is a wired, runnable RoCEv2 fabric simulation.
+type Network = sim.Network
+
+// NetworkConfig parameterizes a network build; ClosConfig the fabric.
+type (
+	NetworkConfig = sim.Config
+	ClosConfig    = topology.ClosConfig
+)
+
+// NewNetwork builds a network; DefaultNetworkConfig is a small fast
+// fabric; PaperClosConfig the paper's 128-host NS-3 topology.
+var (
+	NewNetwork           = sim.New
+	DefaultNetworkConfig = sim.DefaultConfig
+	PaperClosConfig      = topology.PaperClosConfig
+)
+
+// System is a full Paraleon deployment (monitor + controller + tuner)
+// attached to a network; SystemConfig mirrors Table III.
+type (
+	System       = core.System
+	SystemConfig = core.SystemConfig
+)
+
+// SAConfig parameterizes the annealing search.
+type SAConfig = core.SAConfig
+
+// Attach wires Paraleon onto a network; DefaultSystemConfig is Table III.
+// ShortSAConfig compresses the SA schedule for short runs.
+// AttachPartitioned deploys one controller per cluster of racks with
+// heterogeneous parameters (§V).
+var (
+	Attach              = core.Attach
+	AttachPartitioned   = core.AttachPartitioned
+	DefaultSystemConfig = core.DefaultSystemConfig
+	ShortSAConfig       = core.ShortSAConfig
+	Pretrain            = core.Pretrain
+)
+
+// Weights are the utility-function weights ω_TP/ω_RTT/ω_PFC.
+type Weights = core.Weights
+
+// DefaultWeights is (0.2, 0.5, 0.3); ThroughputWeights (0.5, 0.2, 0.3).
+var (
+	DefaultWeights    = core.DefaultWeights
+	ThroughputWeights = core.ThroughputWeights
+	Utility           = core.Utility
+)
+
+// FSD is a network-wide flow size distribution; RuntimeSample one
+// interval's utility inputs.
+type (
+	FSD           = monitor.FSD
+	RuntimeSample = monitor.RuntimeSample
+)
+
+// Workload generators.
+type (
+	PoissonConfig  = workload.PoissonConfig
+	AlltoallConfig = workload.AlltoallConfig
+	InfluxConfig   = workload.InfluxConfig
+	SizeCDF        = workload.SizeCDF
+)
+
+// IncastConfig and PermutationConfig cover the remaining canonical
+// datacenter patterns; TraceFlow supports trace record/replay.
+type (
+	IncastConfig      = workload.IncastConfig
+	PermutationConfig = workload.PermutationConfig
+	TraceFlow         = workload.TraceFlow
+)
+
+// InstallPoisson, InstallAlltoall, InstallInflux, InstallIncast,
+// InstallPermutation and InstallReplay schedule traffic; FBHadoop,
+// SolarRPC and WebSearch are the built-in size distributions; SaveTrace,
+// LoadTrace and RecordTrace round-trip workloads through CSV.
+var (
+	InstallPoisson     = workload.InstallPoisson
+	InstallAlltoall    = workload.InstallAlltoall
+	InstallInflux      = workload.InstallInflux
+	InstallIncast      = workload.InstallIncast
+	InstallPermutation = workload.InstallPermutation
+	InstallReplay      = workload.InstallReplay
+	SaveTrace          = workload.SaveTrace
+	LoadTrace          = workload.LoadTrace
+	RecordTrace        = workload.RecordTrace
+	FBHadoop           = workload.FBHadoop
+	SolarRPC           = workload.SolarRPC
+	WebSearch          = workload.WebSearch
+)
+
+// FlowRecord is one completed flow; FCTSummary an aggregate.
+type (
+	FlowRecord = sim.FlowRecord
+	FCTSummary = metrics.FCTSummary
+)
+
+// Summarize computes FCT statistics for a finished run.
+var Summarize = metrics.Summarize
+
+// Scheme is one experiment arm; Scale one fabric size.
+type (
+	Scheme = harness.Scheme
+	Scale  = harness.Scale
+)
+
+// Experiment arms and scales.
+var (
+	DefaultScheme   = harness.DefaultScheme
+	ExpertScheme    = harness.ExpertScheme
+	ParaleonScheme  = harness.ParaleonScheme
+	ACCScheme       = harness.ACCScheme
+	DCQCNPlusScheme = harness.DCQCNPlusScheme
+	QuickScale      = harness.QuickScale
+	MediumScale     = harness.MediumScale
+	PaperScale      = harness.PaperScale
+)
+
+// ControllerConfig configures the real TCP controller; ServeController
+// starts one and DialController connects an agent to it.
+type ControllerConfig = ctrlrpc.ServerConfig
+
+var (
+	ServeController         = ctrlrpc.Serve
+	DialController          = ctrlrpc.Dial
+	DefaultControllerConfig = ctrlrpc.DefaultServerConfig
+)
