@@ -6,7 +6,12 @@
 //	paraleon-sim -exp table2          # one experiment
 //	paraleon-sim -exp all             # everything (minutes)
 //	paraleon-sim -exp fig7fb -scale medium -horizon 80ms
+//	paraleon-sim -exp fig10 -workers 8 -progress
 //	paraleon-sim -list
+//
+// Experiment arms (scheme × workload × setting combinations) are
+// independent simulations; -workers spreads them over a worker pool
+// (default: all CPUs). Results are bit-identical at any worker count.
 package main
 
 import (
@@ -169,6 +174,8 @@ func main() {
 	horizon := flag.Duration("horizon", 40*time.Millisecond, "measurement horizon (virtual time)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.String("csv", "", "directory for CSV series output (timeline/CDF experiments)")
+	workers := flag.Int("workers", 0, "experiment arms run in parallel (0 = all CPUs, 1 = sequential)")
+	progress := flag.Bool("progress", false, "print per-arm completion progress to stderr")
 	flag.Parse()
 	csvDir = *csv
 
@@ -202,6 +209,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+	scale.Workers = *workers
+	if *progress {
+		scale.Progress = func(st harness.ArmStatus) {
+			status := "ok"
+			if st.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "  arm %d/%d (%s) %s in %v\n",
+				st.Done, st.Total, st.Scheme, status, st.Wall.Round(time.Millisecond))
+		}
 	}
 	h := eventsim.Time(horizon.Nanoseconds())
 

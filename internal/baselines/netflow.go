@@ -77,8 +77,10 @@ func NewNetFlowAgent(cfg NetFlowConfig, topo *topology.Topology, node topology.N
 	}
 }
 
-// Attach installs the agent as sw's packet tap.
-func (a *NetFlowAgent) Attach(sw *netdev.Switch) { sw.Tap = a.OnPacket }
+// Attach installs the agent as one of sw's packet taps, composing with
+// any tap already installed (e.g. a ground-truth oracle) instead of
+// silently replacing it.
+func (a *NetFlowAgent) Attach(sw *netdev.Switch) { monitor.TapAll(sw, a.OnPacket) }
 
 // OnPacket samples 1-in-SampleRate data packets at the flow's source ToR.
 func (a *NetFlowAgent) OnPacket(pkt *netdev.Packet, now eventsim.Time) {

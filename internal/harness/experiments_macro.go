@@ -43,8 +43,9 @@ func Fig7FB(scale Scale, schemes []Scheme, load float64, horizon eventsim.Time) 
 		Buckets:   metrics.DefaultSizeBuckets(),
 		PerScheme: map[string][]metrics.BucketStat{},
 	}
+	cfgs := make([]RunConfig, 0, len(schemes))
 	for _, sc := range schemes {
-		r, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Net:        scale.Net,
 			Scheme:     sc,
 			Interval:   scale.Interval,
@@ -60,12 +61,15 @@ func Fig7FB(scale Scale, schemes []Scheme, load float64, horizon eventsim.Time) 
 				return err
 			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		sl := metrics.Slowdowns(r.Net, r.Net.Completed)
-		res.PerScheme[sc.Name] = metrics.BucketizeSlowdowns(sl, res.Buckets)
-		res.Order = append(res.Order, sc.Name)
+		res.PerScheme[schemes[i].Name] = metrics.BucketizeSlowdowns(sl, res.Buckets)
+		res.Order = append(res.Order, schemes[i].Name)
 	}
 	return res, nil
 }
@@ -117,12 +121,19 @@ func Fig7LLM(scale Scale, schemes []Scheme, workerCounts []int, msg int64, round
 		CDFs:         map[int]map[string][]metrics.CDFPoint{},
 		Tails:        map[int]map[string]float64{},
 	}
+	type armKey struct {
+		wc     int
+		scheme string
+	}
+	var arms []armKey
+	var cfgs []RunConfig
 	for _, wc := range workerCounts {
 		res.CDFs[wc] = map[string][]metrics.CDFPoint{}
 		res.Tails[wc] = map[string]float64{}
 		for _, sc := range schemes {
 			wc := wc
-			r, err := Run(RunConfig{
+			arms = append(arms, armKey{wc: wc, scheme: sc.Name})
+			cfgs = append(cfgs, RunConfig{
 				Net:        scale.Net,
 				Scheme:     sc,
 				Interval:   scale.Interval,
@@ -139,18 +150,22 @@ func Fig7LLM(scale Scale, schemes []Scheme, workerCounts []int, msg int64, round
 					return err
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			fcts := make([]float64, 0, len(r.Net.Completed))
-			for _, rec := range r.Net.Completed {
-				fcts = append(fcts, rec.FCT().Millis())
-			}
-			res.CDFs[wc][sc.Name] = metrics.CDF(fcts, 20)
-			res.Tails[wc][sc.Name] = metrics.Percentile(fcts, 0.99)
-			if len(res.Order) < len(schemes) {
-				res.Order = append(res.Order, sc.Name)
-			}
+		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		arm := arms[i]
+		fcts := make([]float64, 0, len(r.Net.Completed))
+		for _, rec := range r.Net.Completed {
+			fcts = append(fcts, rec.FCT().Millis())
+		}
+		res.CDFs[arm.wc][arm.scheme] = metrics.CDF(fcts, 20)
+		res.Tails[arm.wc][arm.scheme] = metrics.Percentile(fcts, 0.99)
+		if len(res.Order) < len(schemes) {
+			res.Order = append(res.Order, arm.scheme)
 		}
 	}
 	return res, nil
@@ -214,8 +229,9 @@ func RunInflux(scale Scale, schemes []Scheme, spec InfluxSpec) (*InfluxResult, e
 		TP:   map[string]*metrics.Series{}, RTT: map[string]*metrics.Series{},
 		TPPhases: map[string][3]float64{}, RTTPhases: map[string][3]float64{},
 	}
+	cfgs := make([]RunConfig, 0, len(schemes))
 	for _, sc := range schemes {
-		r, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Net:      scale.Net,
 			Scheme:   sc,
 			Interval: scale.Interval,
@@ -242,9 +258,13 @@ func RunInflux(scale Scale, schemes []Scheme, spec InfluxSpec) (*InfluxResult, e
 				return err
 			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		sc := schemes[i]
 		res.Order = append(res.Order, sc.Name)
 		tp, rtt := r.TP, r.RTT
 		res.TP[sc.Name] = &tp
@@ -386,10 +406,17 @@ func monitoringScheme(arm MonitoringArm, interval eventsim.Time) Scheme {
 // Fig10 compares the monitoring designs across loads.
 func Fig10(scale Scale, loads []float64, horizon eventsim.Time) (*MonitoringResult, error) {
 	res := newMonitoringResult("load", loads)
+	type armKey struct {
+		name string
+		load float64
+	}
+	var arms []armKey
+	var cfgs []RunConfig
 	for _, arm := range MonitoringArms() {
 		for _, load := range loads {
 			load := load
-			r, err := Run(RunConfig{
+			arms = append(arms, armKey{name: arm.Name, load: load})
+			cfgs = append(cfgs, RunConfig{
 				Net:           scale.Net,
 				Scheme:        monitoringScheme(arm, scale.Interval),
 				Interval:      scale.Interval,
@@ -404,12 +431,14 @@ func Fig10(scale Scale, loads []float64, horizon eventsim.Time) (*MonitoringResu
 					return err
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			acc := r.MeanAccuracy()
-			res.put(arm.Name, load, acc, r.Summary().MeanSlowdown)
 		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res.put(arms[i].name, arms[i].load, r.MeanAccuracy(), r.Summary().MeanSlowdown)
 	}
 	return res, nil
 }
@@ -421,10 +450,17 @@ func Fig11(scale Scale, intervalsMS []float64, load float64, horizon eventsim.Ti
 		{Name: "elastic", Mode: FSDNaiveElastic},
 		{Name: "paraleon", Mode: FSDParaleon},
 	}
+	type armKey struct {
+		name string
+		ms   float64
+	}
+	var keys []armKey
+	var cfgs []RunConfig
 	for _, arm := range arms {
 		for _, ms := range intervalsMS {
 			interval := eventsim.Time(ms * float64(eventsim.Millisecond))
-			r, err := Run(RunConfig{
+			keys = append(keys, armKey{name: arm.Name, ms: ms})
+			cfgs = append(cfgs, RunConfig{
 				Net:           scale.Net,
 				Scheme:        monitoringScheme(arm, interval),
 				Interval:      interval,
@@ -439,11 +475,14 @@ func Fig11(scale Scale, intervalsMS []float64, load float64, horizon eventsim.Ti
 					return err
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			res.put(arm.Name, ms, r.MeanAccuracy(), r.Summary().MeanSlowdown)
 		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res.put(keys[i].name, keys[i].ms, r.MeanAccuracy(), r.Summary().MeanSlowdown)
 	}
 	return res, nil
 }
@@ -497,11 +536,12 @@ func Fig12(scale Scale, horizon eventsim.Time) (*Fig12Result, error) {
 		{"paraleon", core.DefaultSAConfig()},
 		{"naive_sa", core.NaiveSAConfig()},
 	}
+	cfgs := make([]RunConfig, 0, len(arms))
 	for _, arm := range arms {
 		sc := ParaleonScheme()
 		sc.Name = arm.name
 		sc.SystemCfg.SA = arm.sa
-		r, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Net:      scale.Net,
 			Scheme:   sc,
 			Interval: scale.Interval,
@@ -513,11 +553,14 @@ func Fig12(scale Scale, horizon eventsim.Time) (*Fig12Result, error) {
 				return err
 			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		res.Traces[arm.name] = r.Utility.Values
-		res.Order = append(res.Order, arm.name)
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res.Traces[arms[i].name] = r.Utility.Values
+		res.Order = append(res.Order, arms[i].name)
 	}
 	return res, nil
 }

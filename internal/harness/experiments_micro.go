@@ -19,6 +19,17 @@ import (
 type Scale struct {
 	Net      sim.Config
 	Interval eventsim.Time
+	// Workers bounds how many experiment arms a driver runs concurrently
+	// through RunAll (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// Progress, when non-nil, receives RunAll's per-arm completion
+	// updates for every driver run at this scale.
+	Progress func(ArmStatus)
+}
+
+// parallel bundles the scale's execution knobs for RunAll.
+func (s Scale) parallel() ParallelOptions {
+	return ParallelOptions{Workers: s.Workers, Progress: s.Progress}
 }
 
 // QuickScale is the default reproduction fabric: 2 racks × 4 hosts at
@@ -154,10 +165,10 @@ func fig5Sweeps() (names []string, values map[string][]float64) {
 	return names, values
 }
 
-// measureUnder runs an alltoall under fixed params and reports the mean
-// runtime metrics over the horizon.
-func measureUnder(scale Scale, p dcqcn.Params, workers int, msg int64, horizon eventsim.Time) (tp, rtt float64, err error) {
-	r, err := Run(RunConfig{
+// probeCfg is the fixed-parameter alltoall arm the micro sweeps measure:
+// mean runtime metrics under p over the horizon.
+func probeCfg(scale Scale, p dcqcn.Params, workers int, msg int64, horizon eventsim.Time) RunConfig {
+	return RunConfig{
 		Net:      scale.Net,
 		Scheme:   StaticScheme("probe", p),
 		Interval: scale.Interval,
@@ -170,21 +181,23 @@ func measureUnder(scale Scale, p dcqcn.Params, workers int, msg int64, horizon e
 			})
 			return err
 		},
-	})
-	if err != nil {
-		return 0, 0, err
 	}
-	return metrics.Mean(r.TP.Values), metrics.Mean(r.RTT.Values), nil
 }
 
 // Fig5 sweeps each representative parameter one at a time (others at
 // defaults) under a sustained alltoall, reproducing the single-parameter
-// impact study.
+// impact study. All 20 sweep points run as one parallel batch.
 func Fig5(scale Scale, horizon eventsim.Time) (*Fig5Result, error) {
 	names, values := fig5Sweeps()
 	res := &Fig5Result{Curves: map[string][]SweepPoint{}, Order: names}
 	workers := 6
 	msg := int64(2 << 20)
+	type armKey struct {
+		name  string
+		value float64
+	}
+	var arms []armKey
+	var cfgs []RunConfig
 	for _, name := range names {
 		spec := dcqcn.SpecByName(name)
 		if spec == nil {
@@ -196,12 +209,20 @@ func Fig5(scale Scale, horizon eventsim.Time) (*Fig5Result, error) {
 			if p.KmaxBytes <= p.KminBytes {
 				p.KminBytes = p.KmaxBytes / 4
 			}
-			tp, rtt, err := measureUnder(scale, p, workers, msg, horizon)
-			if err != nil {
-				return nil, err
-			}
-			res.Curves[name] = append(res.Curves[name], SweepPoint{Value: v, TP: tp, RTTNorm: rtt})
+			arms = append(arms, armKey{name: name, value: v})
+			cfgs = append(cfgs, probeCfg(scale, p, workers, msg, horizon))
 		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res.Curves[arms[i].name] = append(res.Curves[arms[i].name], SweepPoint{
+			Value:   arms[i].value,
+			TP:      metrics.Mean(r.TP.Values),
+			RTTNorm: metrics.Mean(r.RTT.Values),
+		})
 	}
 	return res, nil
 }
@@ -239,8 +260,8 @@ func Fig6(scale Scale, horizon eventsim.Time) (*Fig6Result, error) {
 	}
 	workers := 6
 	msg := int64(2 << 20)
+	var cfgs []RunConfig
 	for _, tr := range res.TimeResets {
-		var tpRow, rttRow []float64
 		for _, km := range res.Kmaxes {
 			p := dcqcn.DefaultParams()
 			p.RPGTimeReset = eventsim.Time(tr)
@@ -248,12 +269,20 @@ func Fig6(scale Scale, horizon eventsim.Time) (*Fig6Result, error) {
 			if p.KminBytes >= p.KmaxBytes {
 				p.KminBytes = p.KmaxBytes / 4
 			}
-			tp, rtt, err := measureUnder(scale, p, workers, msg, horizon)
-			if err != nil {
-				return nil, err
-			}
-			tpRow = append(tpRow, tp)
-			rttRow = append(rttRow, rtt)
+			cfgs = append(cfgs, probeCfg(scale, p, workers, msg, horizon))
+		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	cols := len(res.Kmaxes)
+	for i := range res.TimeResets {
+		var tpRow, rttRow []float64
+		for j := 0; j < cols; j++ {
+			r := results[i*cols+j]
+			tpRow = append(tpRow, metrics.Mean(r.TP.Values))
+			rttRow = append(rttRow, metrics.Mean(r.RTT.Values))
 		}
 		res.TP = append(res.TP, tpRow)
 		res.RTT = append(res.RTT, rttRow)

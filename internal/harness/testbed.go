@@ -399,20 +399,25 @@ func Fig14(scale Scale, spec InfluxSpec) (*Fig14Result, error) {
 		})
 		return err
 	}
-	for _, sc := range []Scheme{DefaultScheme(), ExpertScheme()} {
-		r, err := Run(RunConfig{
+	statics := []Scheme{DefaultScheme(), ExpertScheme()}
+	cfgs := make([]RunConfig, 0, len(statics))
+	for _, sc := range statics {
+		cfgs = append(cfgs, RunConfig{
 			Net:      scale.Net,
 			Scheme:   sc,
 			Interval: scale.Interval,
 			Duration: spec.Horizon,
 			Workload: install,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := RunAll(cfgs, scale.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		tp, rtt := r.TP, r.RTT
-		res.TP[sc.Name], res.RTT[sc.Name] = &tp, &rtt
-		res.Order = append(res.Order, sc.Name)
+		res.TP[statics[i].Name], res.RTT[statics[i].Name] = &tp, &rtt
+		res.Order = append(res.Order, statics[i].Name)
 	}
 	srvCfg := ctrlrpc.DefaultServerConfig()
 	srvCfg.SA = core.ShortSAConfig()

@@ -73,9 +73,13 @@ func NewSwitchAgent(cfg AgentConfig, seed uint64) *SwitchAgent {
 	}
 }
 
-// Attach installs the agent as sw's packet tap.
+// Attach installs the agent as one of sw's packet taps, composing with
+// any tap already installed (e.g. a ground-truth oracle attached first)
+// instead of silently replacing it. The existing tap keeps firing first,
+// so pure observers installed earlier see packets before this agent
+// marks the TOS bit.
 func (a *SwitchAgent) Attach(sw *netdev.Switch) {
-	sw.Tap = a.OnPacket
+	TapAll(sw, a.OnPacket)
 }
 
 // OnPacket is the data-plane insertion path.
@@ -100,7 +104,13 @@ func (a *SwitchAgent) Sketch() *sketch.Sketch { return a.sk }
 // flow states, and emit the local report.
 func (a *SwitchAgent) EndInterval() Report {
 	heavy := a.sk.HeavyFlows()
-	light := a.sk.LightBytes()
+	// HeavyFlows folds flagged residents' Light Part residue into their
+	// estimates; subtract it from the light lump or that mass counts
+	// twice (once under the flow, once as unattributed mice bytes).
+	light := a.sk.LightBytes() - a.sk.FlaggedResidue()
+	if light < 0 {
+		light = 0
+	}
 	a.sk.Reset()
 
 	if a.cfg.Ternary {
@@ -187,9 +197,19 @@ func (o *Oracle) EndInterval() Report {
 }
 
 // TapAll fans a switch's single tap out to several observers (e.g. an
-// estimator agent plus the ground-truth oracle). Order matters: observers
-// that mutate the TOS bit should come after pure observers.
+// estimator agent plus the ground-truth oracle). A tap already installed
+// on the switch is kept and fires before the new observers, so repeated
+// attachment calls compose instead of clobbering each other. Order
+// matters: observers that mutate the TOS bit should come after pure
+// observers.
 func TapAll(sw *netdev.Switch, taps ...func(*netdev.Packet, eventsim.Time)) {
+	if prev := sw.Tap; prev != nil {
+		taps = append([]func(*netdev.Packet, eventsim.Time){prev}, taps...)
+	}
+	if len(taps) == 1 {
+		sw.Tap = taps[0]
+		return
+	}
 	sw.Tap = func(pkt *netdev.Packet, now eventsim.Time) {
 		for _, tap := range taps {
 			tap(pkt, now)

@@ -231,9 +231,14 @@ func (n *Network) SetHostParams(node topology.NodeID, p *dcqcn.Params) {
 func (n *Network) HostParams(node topology.NodeID) *dcqcn.Params { return n.hostParams[node] }
 
 // ApplySwitchECN retargets only the ECN thresholds of one switch (what an
-// ACC agent actuates).
+// ACC agent actuates). Addressing a node that is not a switch of this
+// network is a programming error and panics with the offending node
+// rather than a bare nil dereference.
 func (n *Network) ApplySwitchECN(node topology.NodeID, kmin, kmax int64, pmax float64) {
 	sp := n.switchParams[node]
+	if sp == nil {
+		panic(fmt.Sprintf("sim: ApplySwitchECN: node %d is not a switch in this network", node))
+	}
 	sp.KminBytes, sp.KmaxBytes, sp.PMax = kmin, kmax, pmax
 }
 

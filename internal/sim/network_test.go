@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/dcqcn"
@@ -399,5 +400,37 @@ func TestPaperScaleTopologyBuilds(t *testing.T) {
 	n.RunUntilIdle(eventsim.Second)
 	if len(n.Completed) != 2 {
 		t.Errorf("completed %d flows on paper fabric, want 2", len(n.Completed))
+	}
+}
+
+func TestApplySwitchECNUnknownNodePanics(t *testing.T) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := n.Topo.Hosts()[0]
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ApplySwitchECN on a host node did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "not a switch") {
+			t.Fatalf("panic %v does not explain the bad node", r)
+		}
+	}()
+	n.ApplySwitchECN(host, 1<<10, 1<<20, 0.5)
+}
+
+func TestApplySwitchECNUpdatesSwitch(t *testing.T) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := n.Topo.SwitchIDs()[0]
+	n.ApplySwitchECN(sw, 1<<10, 1<<20, 0.5)
+	sp := n.SwitchParams(sw)
+	if sp.KminBytes != 1<<10 || sp.KmaxBytes != 1<<20 || sp.PMax != 0.5 {
+		t.Errorf("switch params not updated: %+v", sp)
 	}
 }

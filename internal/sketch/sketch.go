@@ -196,6 +196,23 @@ func (s *Sketch) HeavyBytes() int64 {
 	return total
 }
 
+// FlaggedResidue sums the Light Part estimates of flagged Heavy Part
+// residents — mass HeavyFlows already folds into those flows' sizes.
+// Readers that also lump LightBytes into a total must subtract this
+// residue, or the flagged bytes count twice. Count-min estimates never
+// under-count, so the residue can exceed the flows' true Light Part mass
+// under collisions; callers should clamp the corrected lump at zero.
+func (s *Sketch) FlaggedResidue() int64 {
+	var total int64
+	for i := range s.heavy {
+		b := &s.heavy[i]
+		if b.used && b.flag {
+			total += s.lightEstimate(b.flow)
+		}
+	}
+	return total
+}
+
 // LightBytes is the total mass absorbed by the Light Part, computed as
 // one row's sum (every row receives every insert).
 func (s *Sketch) LightBytes() int64 {

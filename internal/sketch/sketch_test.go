@@ -221,3 +221,53 @@ func BenchmarkEstimate(b *testing.B) {
 		s.Estimate(uint64(i % 1000))
 	}
 }
+
+func heavyFlowsTotal(s *Sketch) int64 {
+	var total int64
+	for _, fs := range s.HeavyFlows() {
+		total += fs.Bytes
+	}
+	return total
+}
+
+func TestFlaggedResidueDeterministic(t *testing.T) {
+	// One heavy bucket forces an Ostracism eviction: A:10 seats, B's 30
+	// light bytes vote against it, B's next 60 evict A and seat B with
+	// the flag set — B's 30 bytes remain in the Light Part.
+	s := New(Config{HeavyBuckets: 1, LightRows: 2, LightWidth: 256, Lambda: 8}, 7)
+	s.Insert(1, 10)
+	s.Insert(2, 30)
+	s.Insert(2, 60)
+	if s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+	if got := s.FlaggedResidue(); got < 30 {
+		t.Fatalf("FlaggedResidue = %d, want ≥ 30 (B's light residue)", got)
+	}
+	// A naive reader summing HeavyFlows plus the whole light lump counts
+	// B's residue twice — the bug the residue accessor exists to fix.
+	naive := heavyFlowsTotal(s) + s.LightBytes()
+	if naive <= s.TotalBytes {
+		t.Fatalf("expected naive sum %d to overshoot TotalBytes %d", naive, s.TotalBytes)
+	}
+	if got := naive - s.FlaggedResidue(); got != s.TotalBytes {
+		t.Fatalf("corrected sum %d != TotalBytes %d", got, s.TotalBytes)
+	}
+}
+
+func TestFlaggedResidueConservation(t *testing.T) {
+	// Reader-level identity under arbitrary collisions and evictions:
+	// HeavyFlows folds flagged residue in, so subtracting FlaggedResidue
+	// from the light lump restores exact byte conservation.
+	f := func(seed int64) bool {
+		s := New(Config{HeavyBuckets: 4, LightRows: 2, LightWidth: 32, Lambda: 4}, uint64(seed))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			s.Insert(uint64(rng.Intn(20)), int64(rng.Intn(999)+1))
+		}
+		return heavyFlowsTotal(s)+s.LightBytes()-s.FlaggedResidue() == s.TotalBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
