@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -34,6 +35,26 @@ type experiment struct {
 // csvDir, when set via -csv, makes timeline/CDF experiments also write
 // machine-readable series next to their printed tables.
 var csvDir string
+
+// chaosSeed drives the chaos-* experiments' fault scenarios; chaosTrace,
+// when set via -chaos-trace, receives their JSON Lines event trace.
+var (
+	chaosSeed  int64
+	chaosTrace string
+)
+
+// chaosTraceWriter opens the -chaos-trace destination, or returns a nil
+// writer when tracing is off.
+func chaosTraceWriter() (io.Writer, func() error, error) {
+	if chaosTrace == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(chaosTrace)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
 
 func experiments() []experiment {
 	out := os.Stdout
@@ -165,6 +186,38 @@ func experiments() []experiment {
 			r.Fprint(out)
 			return nil
 		}},
+		{"chaos-linkflap", "fabric uplink flaps; utility regression rolls parameters back", func(s harness.Scale, h eventsim.Time) error {
+			w, closeTrace, err := chaosTraceWriter()
+			if err != nil {
+				return err
+			}
+			r, err := harness.ChaosLinkFlap(s, h, chaosSeed, w)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return closeTrace()
+		}},
+		{"chaos-agentcrash", "agent crash+restart; quorum freeze spans the outage", func(s harness.Scale, h eventsim.Time) error {
+			w, closeTrace, err := chaosTraceWriter()
+			if err != nil {
+				return err
+			}
+			r, err := harness.ChaosAgentCrash(s, h, chaosSeed, w)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return closeTrace()
+		}},
+		{"chaos-ctrlpartition", "TCP control plane under frame faults + controller restart", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.ChaosCtrlPartition(s, h, chaosSeed)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
 	}
 }
 
@@ -176,8 +229,12 @@ func main() {
 	csv := flag.String("csv", "", "directory for CSV series output (timeline/CDF experiments)")
 	workers := flag.Int("workers", 0, "experiment arms run in parallel (0 = all CPUs, 1 = sequential)")
 	progress := flag.Bool("progress", false, "print per-arm completion progress to stderr")
+	seed := flag.Int64("chaos-seed", 1, "fault scenario seed for chaos-* experiments")
+	ctrace := flag.String("chaos-trace", "", "file for the chaos experiments' JSONL event trace")
 	flag.Parse()
 	csvDir = *csv
+	chaosSeed = *seed
+	chaosTrace = *ctrace
 
 	exps := experiments()
 	if *list || *exp == "" {

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestFaultyConnDropArmsReadDeadline(t *testing.T) {
+	c, s := tcpPair(t)
+	fc := ConnFaults{Seed: 1, DropProb: 1, DropTimeout: 20 * time.Millisecond}.Wrap(c)
+
+	n, err := fc.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("dropped write reported n=%d err=%v, want success", n, err)
+	}
+	if fc.Drops != 1 {
+		t.Errorf("Drops=%d, want 1", fc.Drops)
+	}
+	// The peer must receive nothing…
+	s.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, _ := s.Read(buf); n != 0 {
+		t.Errorf("peer received %d dropped bytes", n)
+	}
+	// …and our pending read must time out instead of hanging.
+	if _, err := fc.Read(buf); err == nil {
+		t.Error("read after drop did not fail")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Errorf("read after drop failed with %v, want timeout", err)
+	}
+}
+
+func TestFaultyConnDuplicatesFrames(t *testing.T) {
+	c, s := tcpPair(t)
+	fc := ConnFaults{Seed: 1, DupProb: 1}.Wrap(c)
+
+	msg := []byte("frame")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Dups != 1 {
+		t.Errorf("Dups=%d, want 1", fc.Dups)
+	}
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	got := make([]byte, 2*len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append(append([]byte{}, msg...), msg...)) {
+		t.Errorf("peer got %q, want doubled frame", got)
+	}
+}
+
+func TestFaultyConnTruncatesAndCloses(t *testing.T) {
+	c, s := tcpPair(t)
+	fc := ConnFaults{Seed: 1, TruncProb: 1}.Wrap(c)
+
+	msg := []byte("0123456789")
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjectedTruncation) {
+		t.Fatalf("err=%v, want ErrInjectedTruncation", err)
+	}
+	if n != len(msg)/2 {
+		t.Errorf("wrote %d bytes, want %d", n, len(msg)/2)
+	}
+	if fc.Truncs != 1 {
+		t.Errorf("Truncs=%d, want 1", fc.Truncs)
+	}
+	// The peer sees the prefix, then EOF (connection was closed).
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	got, _ := io.ReadAll(s)
+	if !bytes.Equal(got, msg[:len(msg)/2]) {
+		t.Errorf("peer got %q, want %q", got, msg[:len(msg)/2])
+	}
+}
+
+func TestFaultyConnCleanPassThrough(t *testing.T) {
+	c, s := tcpPair(t)
+	fc := ConnFaults{Seed: 1}.Wrap(c)
+	msg := []byte("clean")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("peer got %q, want %q", got, msg)
+	}
+	if fc.Drops+fc.Dups+fc.Truncs != 0 {
+		t.Error("clean config injected faults")
+	}
+}

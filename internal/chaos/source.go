@@ -1,0 +1,87 @@
+package chaos
+
+import "repro/internal/monitor"
+
+// FlakySource wraps a monitor.ReportSource with failure modes, and
+// implements monitor.LivenessSource so the controller's staleness and
+// quorum machinery engages.
+//
+// A crashed source reports !Alive(); the wrapped agent keeps observing
+// packets (the switch tap is still installed — a dead *agent process*
+// does not stop the data plane), but on Restart everything it
+// accumulated is discarded, modelling sketch-state loss across a
+// reboot. A stalled source stays alive but serves its last pre-stall
+// report verbatim, modelling a wedged agent whose liveness checks still
+// pass.
+type FlakySource struct {
+	inner monitor.ReportSource
+
+	alive     bool
+	stallLeft int
+	last      monitor.Report
+	hasLast   bool
+
+	// Crashes, Restarts, and StaleServed count injected activity.
+	Crashes, Restarts, StaleServed int
+}
+
+// NewFlakySource wraps inner, initially alive.
+func NewFlakySource(inner monitor.ReportSource) *FlakySource {
+	return &FlakySource{inner: inner, alive: true}
+}
+
+// Alive implements monitor.LivenessSource.
+func (f *FlakySource) Alive() bool { return f.alive }
+
+// Inner exposes the wrapped source.
+func (f *FlakySource) Inner() monitor.ReportSource { return f.inner }
+
+// Crash kills the source; it stops answering until Restart.
+func (f *FlakySource) Crash() {
+	if !f.alive {
+		return
+	}
+	f.alive = false
+	f.Crashes++
+}
+
+// Restart revives the source with empty state: the wrapped agent's
+// accumulated interval (everything since its last report, including the
+// whole outage) is read and discarded.
+func (f *FlakySource) Restart() {
+	if f.alive {
+		return
+	}
+	f.inner.EndInterval() // sketch-state loss: drain and drop
+	f.alive = true
+	f.stallLeft = 0
+	f.hasLast = false
+	f.Restarts++
+}
+
+// Stall makes the next n EndInterval calls return the last report the
+// source produced instead of fresh data.
+func (f *FlakySource) Stall(n int) {
+	if n > 0 {
+		f.stallLeft = n
+	}
+}
+
+// EndInterval implements monitor.ReportSource.
+func (f *FlakySource) EndInterval() monitor.Report {
+	if !f.alive {
+		// The controller never asks a !Alive() source, but be safe for
+		// callers that skip the liveness check.
+		return monitor.Report{}
+	}
+	if f.stallLeft > 0 && f.hasLast {
+		f.stallLeft--
+		f.StaleServed++
+		return f.last
+	}
+	f.stallLeft = 0
+	r := f.inner.EndInterval()
+	f.last = r
+	f.hasLast = true
+	return r
+}

@@ -168,9 +168,10 @@ type Tuner struct {
 	mu               float64
 
 	// Rounds counts completed tuning sessions; Steps counts SA
-	// iterations consumed.
+	// iterations consumed; Aborts counts sessions cancelled by Abort.
 	Rounds int
 	Steps  int
+	Aborts int
 	// Trace records best-so-far utility per iteration of the current or
 	// last session, on the annealer's 0–100 scale (Fig 12's convergence
 	// curves).
@@ -224,6 +225,18 @@ func (t *Tuner) Trigger(fsd monitor.FSD) {
 
 func (t *Tuner) observeFSD(fsd monitor.FSD) {
 	t.dominantElephant, t.mu = fsd.DominantElephant()
+}
+
+// Abort cancels an in-progress tuning session without settling on its
+// best setting. The rollback path uses it: a session whose measurements
+// straddle a fault was searching on corrupted feedback, so neither its
+// chain nor its best are worth keeping. A later KL trigger starts fresh.
+func (t *Tuner) Abort() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.Aborts++
 }
 
 // Step advances one SA iteration (lines 4–23 of Algorithm 1): the sample

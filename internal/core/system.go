@@ -35,6 +35,29 @@ type SystemConfig struct {
 	// that scope, and dispatches go only to those devices (§V
 	// multi-cluster mode; see AttachPartitioned).
 	Scope []topology.NodeID
+	// Degrade bounds the loop's behaviour under faults (agent crashes,
+	// link outages injected by internal/chaos). The zero value keeps the
+	// pre-fault-tolerance behaviour: controller defaults for staleness
+	// and quorum, rollback disabled.
+	Degrade DegradeConfig
+}
+
+// DegradeConfig is the graceful-degradation policy of a deployment.
+type DegradeConfig struct {
+	// StaleAfter / QuorumFrac configure agent eviction and the tuning
+	// freeze (see monitor.Controller); zero values use its defaults.
+	StaleAfter int
+	QuorumFrac float64
+	// RollbackWindow, when > 0, enables parameter rollback: if the
+	// EWMA-smoothed measured utility stays more than RollbackMargin
+	// below the last-known-good utility for RollbackWindow consecutive
+	// live intervals while parameters differ from the last-known-good
+	// vector, the system re-dispatches that vector and aborts the
+	// active tuning session. Rollback is off by default because an SA
+	// session legitimately explores downhill; enable it (with a margin
+	// above exploration noise) where faults are expected.
+	RollbackWindow int
+	RollbackMargin float64
 }
 
 // DefaultSystemConfig mirrors Table III.
@@ -72,6 +95,25 @@ type System struct {
 	LastSample monitor.RuntimeSample
 	// UtilityTrace records Utility(LastSample) each interval.
 	UtilityTrace []float64
+
+	// Graceful degradation (see DegradeConfig).
+	degrade  DegradeConfig
+	current  dcqcn.Params // last dispatched (or initial) setting
+	utilEWMA float64
+	haveEWMA bool
+	lastGood dcqcn.Params
+	goodUtil float64
+	haveGood bool
+	regress  int
+	// Rollbacks counts reversions to the last-known-good vector;
+	// FrozenIntervals counts intervals held because quorum was lost.
+	Rollbacks       int
+	FrozenIntervals int
+	// OnDispatch / OnRollback, if set, observe parameter pushes (trace
+	// recording). OnRollback fires with the restored vector after it has
+	// been applied.
+	OnDispatch func(p dcqcn.Params)
+	OnRollback func(p dcqcn.Params)
 }
 
 // Attach builds a Paraleon deployment on net. The search starts from the
@@ -89,6 +131,8 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 		Tuner:    tuner,
 		interval: cfg.Interval,
 		probe:    cfg.ProbeEvery,
+		degrade:  cfg.Degrade,
+		current:  *net.RNICParams(),
 	}
 	if s.probe <= 0 {
 		s.probe = cfg.Interval / 4
@@ -109,6 +153,8 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 		}
 	}
 	s.Controller = monitor.NewController(cfg.Theta, sources...)
+	s.Controller.StaleAfter = cfg.Degrade.StaleAfter
+	s.Controller.QuorumFrac = cfg.Degrade.QuorumFrac
 	// A session runs to its temperature floor (Algorithm 1); KL spikes
 	// during an active search must not restart it, or noisy FSDs would
 	// pin the tuner at maximum temperature forever.
@@ -196,7 +242,17 @@ func (s *System) tick() {
 	fsd := s.Controller.Tick()
 	sample := s.Collector.Sample(s.interval)
 	s.LastSample = sample
-	s.UtilityTrace = append(s.UtilityTrace, Utility(sample, s.Tuner.weights))
+	util := Utility(sample, s.Tuner.weights)
+	s.UtilityTrace = append(s.UtilityTrace, util)
+	// Quorum lost: the measurement substrate itself is broken, so any
+	// feedback this interval is suspect. Hold parameters steady (do not
+	// step the search or dispatch) until enough agents report again or
+	// the dead ones are evicted from the membership.
+	if s.Controller.Frozen {
+		s.FrozenIntervals++
+		s.regress = 0
+		return
+	}
 	// Traffic-free intervals (OFF gaps) carry no tuning feedback: the
 	// idle network's perfect RTT/PFC readings would poison the search.
 	// Hold the search until traffic returns. (The no-FSD ablation has no
@@ -205,14 +261,77 @@ func (s *System) tick() {
 	if len(s.Controller.Agents) > 0 && s.Controller.Raw.TotalBytes == 0 {
 		return
 	}
-	if p, ok := s.Tuner.Step(sample, fsd); ok {
-		if s.scope != nil {
-			s.Net.ApplyParamsToCluster(s.scope, p)
-		} else {
-			s.Net.ApplyParams(p)
-		}
-		s.Dispatches++
+	if s.checkRollback(util) {
+		return
 	}
+	if p, ok := s.Tuner.Step(sample, fsd); ok {
+		s.apply(p)
+		s.Dispatches++
+		if s.OnDispatch != nil {
+			s.OnDispatch(p)
+		}
+	}
+}
+
+// apply dispatches p to the system's scope and records it as the live
+// setting.
+func (s *System) apply(p dcqcn.Params) {
+	if s.scope != nil {
+		s.Net.ApplyParamsToCluster(s.scope, p)
+	} else {
+		s.Net.ApplyParams(p)
+	}
+	s.current = p
+}
+
+// checkRollback maintains the last-known-good (parameter vector, EWMA
+// utility) pair and reverts to it when the measured utility regresses
+// persistently under the current vector. It reports true when a rollback
+// happened this interval (the tuner was aborted; skip stepping it).
+//
+// The regression test cannot distinguish "bad parameters" from "healthy
+// parameters measured through a fault" — and does not need to: in both
+// cases the last vector known to deliver is the safe setting to hold
+// while the search restarts on post-fault feedback.
+func (s *System) checkRollback(util float64) bool {
+	if !s.haveEWMA {
+		s.utilEWMA = util
+		s.haveEWMA = true
+	} else {
+		s.utilEWMA = 0.3*util + 0.7*s.utilEWMA
+	}
+	if s.degrade.RollbackWindow <= 0 {
+		return false
+	}
+	if !s.haveGood || s.utilEWMA >= s.goodUtil {
+		// The live vector is performing at least as well as anything
+		// before it: it is the new last-known-good.
+		s.lastGood = s.current
+		s.goodUtil = s.utilEWMA
+		s.haveGood = true
+		s.regress = 0
+		return false
+	}
+	if s.utilEWMA >= s.goodUtil-s.degrade.RollbackMargin {
+		s.regress = 0
+		return false
+	}
+	s.regress++
+	if s.regress < s.degrade.RollbackWindow || s.current == s.lastGood {
+		return false
+	}
+	s.apply(s.lastGood)
+	s.Tuner.Abort()
+	s.Rollbacks++
+	s.regress = 0
+	// The regression has tainted the baseline too: re-anchor the good
+	// utility at the current level so a persistent fault does not fire
+	// an endless rollback storm against an unreachable pre-fault bar.
+	s.goodUtil = s.utilEWMA
+	if s.OnRollback != nil {
+		s.OnRollback(s.lastGood)
+	}
+	return true
 }
 
 // Pretrain runs the closed loop against whatever workload the caller has

@@ -27,11 +27,17 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection — the hook fault injectors
+// use to interpose a faulty transport under the protocol layer.
+func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
 		br:   bufio.NewReader(conn),
 		bw:   bufio.NewWriter(conn),
-	}, nil
+	}
 }
 
 // Close tears the connection down.

@@ -53,6 +53,54 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecode hammers the payload decoder directly (below the framing
+// layer) with arbitrary bytes against every message type: it must never
+// panic, and a payload that decodes as a Report must re-encode stably
+// (encode→decode→encode is a fixed point).
+func FuzzDecode(f *testing.F) {
+	seed := func(typ byte, msg any) {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if _, err := WriteFrame(bw, typ, msg); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes()[5:]) // payload only, header stripped
+	}
+	seed(TypeReport, &Report{AgentID: 1, Seq: 7, Flows: 3})
+	seed(TypeTick, &TickMsg{Seq: 9, IntervalNanos: 1e6})
+	seed(TypeParams, &ParamsMsg{Changed: true, Params: ToWire(FromWire(WireParams{}))})
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var tk TickMsg
+		_ = Decode(payload, &tk)
+		var pm ParamsMsg
+		_ = Decode(payload, &pm)
+		var r Report
+		if err := Decode(payload, &r); err != nil {
+			return
+		}
+		// Fixed-point check, NaN-safe: compare re-encodings, not structs.
+		encode := func(msg *Report) []byte {
+			var buf bytes.Buffer
+			bw := bufio.NewWriter(&buf)
+			if _, err := WriteFrame(bw, TypeReport, msg); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			return buf.Bytes()
+		}
+		first := encode(&r)
+		var r2 Report
+		if err := Decode(first[5:], &r2); err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(first, encode(&r2)) {
+			t.Fatal("encode→decode→encode not a fixed point")
+		}
+	})
+}
+
 // FuzzWireParamsRoundTrip checks that any finite parameter vector
 // survives the wire encoding bit-exactly.
 func FuzzWireParamsRoundTrip(f *testing.F) {

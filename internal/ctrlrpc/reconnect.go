@@ -2,15 +2,27 @@ package ctrlrpc
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/dcqcn"
 )
 
+// Backoff defaults: redial attempts are spaced BaseDelay, 2×, 4×, …
+// capped at MaxDelay, each multiplied by a jitter factor in [0.5, 1.0).
+const (
+	DefaultMaxRetries = 5
+	DefaultBaseDelay  = 20 * time.Millisecond
+	DefaultMaxDelay   = 500 * time.Millisecond
+)
+
 // ReconnClient wraps Client with automatic redial: controller restarts
 // (upgrades, crashes) must not take the monitoring agents down with
 // them. A failed call is retried once per fresh connection, up to
-// MaxRetries dials with RetryDelay between attempts.
+// MaxRetries dials spaced by capped exponential backoff with jitter —
+// a fixed retry delay synchronizes every agent's redial into a thundering
+// herd against a restarting controller; jittered backoff spreads them.
 //
 // Retrying is safe by protocol design: reports are idempotent
 // accumulation (a lost report degrades one interval's FSD), and a tick
@@ -20,25 +32,95 @@ type ReconnClient struct {
 	addr string
 	c    *Client
 
-	// MaxRetries bounds dial attempts per call (default 5); RetryDelay
-	// spaces them (default 100 ms).
+	// MaxRetries bounds dial attempts per call (0 means
+	// DefaultMaxRetries). BaseDelay seeds the exponential backoff and
+	// MaxDelay caps it (0 means the defaults).
 	MaxRetries int
-	RetryDelay time.Duration
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+
+	// Dial overrides how connections are established (fault injectors
+	// wrap the raw conn here); nil means the package Dial.
+	Dial func(addr string) (*Client, error)
 
 	// Reconnects counts successful redials; BytesIn/BytesOut aggregate
 	// across connections.
 	Reconnects        int
 	BytesIn, BytesOut int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // DialReconnecting connects to addr, verifying the controller is
 // reachable once.
 func DialReconnecting(addr string) (*ReconnClient, error) {
-	r := &ReconnClient{addr: addr, MaxRetries: 5, RetryDelay: 100 * time.Millisecond}
+	return DialReconnectingWith(addr, 0, 0, 0, nil)
+}
+
+// DialReconnectingWith connects with explicit retry/backoff settings and
+// an optional dial hook (nil means the package Dial); zero settings fall
+// back to the defaults.
+func DialReconnectingWith(addr string, maxRetries int, base, max time.Duration, dial func(string) (*Client, error)) (*ReconnClient, error) {
+	r := &ReconnClient{addr: addr, MaxRetries: maxRetries, BaseDelay: base, MaxDelay: max, Dial: dial}
 	if err := r.redial(); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// SeedBackoff fixes the jitter RNG, making the backoff sequence
+// reproducible. Unseeded clients share jitter derived from the address
+// so distinct agents spread out by default.
+func (r *ReconnClient) SeedBackoff(seed int64) {
+	r.rngMu.Lock()
+	r.rng = rand.New(rand.NewSource(seed))
+	r.rngMu.Unlock()
+}
+
+// backoffDelay returns the pause before dial attempt k (k ≥ 1):
+// min(BaseDelay << (k-1), MaxDelay) scaled by jitter in [0.5, 1.0).
+func (r *ReconnClient) backoffDelay(k int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	max := r.MaxDelay
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	d := base
+	for i := 1; i < k && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	r.rngMu.Lock()
+	if r.rng == nil {
+		var h int64
+		for _, b := range []byte(r.addr) {
+			h = h*131 + int64(b)
+		}
+		r.rng = rand.New(rand.NewSource(h))
+	}
+	jitter := 0.5 + 0.5*r.rng.Float64()
+	r.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+func (r *ReconnClient) maxRetries() int {
+	if r.MaxRetries > 0 {
+		return r.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+func (r *ReconnClient) dial() (*Client, error) {
+	if r.Dial != nil {
+		return r.Dial(r.addr)
+	}
+	return Dial(r.addr)
 }
 
 func (r *ReconnClient) redial() error {
@@ -49,11 +131,11 @@ func (r *ReconnClient) redial() error {
 		r.c = nil
 	}
 	var lastErr error
-	for attempt := 0; attempt < r.MaxRetries; attempt++ {
+	for attempt := 0; attempt < r.maxRetries(); attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.RetryDelay)
+			time.Sleep(r.backoffDelay(attempt))
 		}
-		c, err := Dial(r.addr)
+		c, err := r.dial()
 		if err == nil {
 			r.c = c
 			return nil

@@ -18,8 +18,10 @@ func TestReconnClientSurvivesControllerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.RetryDelay = 20 * time.Millisecond
+	c.BaseDelay = 5 * time.Millisecond
+	c.MaxDelay = 20 * time.Millisecond
 	c.MaxRetries = 25
+	c.SeedBackoff(1)
 
 	if err := c.SendReport(elephantReport(1, 1)); err != nil {
 		t.Fatal(err)
@@ -67,7 +69,8 @@ func TestReconnClientGivesUpEventually(t *testing.T) {
 	}
 	defer c.Close()
 	c.MaxRetries = 2
-	c.RetryDelay = 10 * time.Millisecond
+	c.BaseDelay = 5 * time.Millisecond
+	c.SeedBackoff(1)
 	s.Close() // nothing will listen again
 	if err := c.SendReport(elephantReport(1, 1)); err == nil {
 		t.Error("report to a dead controller succeeded")

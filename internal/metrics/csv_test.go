@@ -2,11 +2,54 @@ package metrics
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/eventsim"
 )
+
+// failAfter errors once limit bytes have been written — a disk-full
+// stand-in to verify flush errors propagate to the caller.
+type failAfter struct {
+	limit   int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		return 0, errDiskFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteSeriesCSVPropagatesWriteError(t *testing.T) {
+	s := &Series{Name: "tp"}
+	for i := 1; i <= 1000; i++ {
+		s.Append(eventsim.Time(i)*eventsim.Millisecond, float64(i))
+	}
+	// Fail at various depths: header, mid-body, and at the final flush.
+	for _, limit := range []int{0, 64, 4096} {
+		if err := WriteSeriesCSV(&failAfter{limit: limit}, s); !errors.Is(err, errDiskFull) {
+			t.Errorf("limit %d: err=%v, want errDiskFull", limit, err)
+		}
+	}
+}
+
+func TestWriteCDFCSVPropagatesWriteError(t *testing.T) {
+	points := make([]CDFPoint, 1000)
+	for i := range points {
+		points[i] = CDFPoint{X: float64(i), P: float64(i) / 1000}
+	}
+	for _, limit := range []int{0, 64, 4096} {
+		if err := WriteCDFCSV(&failAfter{limit: limit}, points); !errors.Is(err, errDiskFull) {
+			t.Errorf("limit %d: err=%v, want errDiskFull", limit, err)
+		}
+	}
+}
 
 func TestWriteSeriesCSV(t *testing.T) {
 	a := &Series{Name: "tp"}

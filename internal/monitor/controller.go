@@ -1,9 +1,36 @@
 package monitor
 
+// LivenessSource is an optional extension of ReportSource for agents
+// that can fail (internal/chaos wraps agents this way): a source
+// reporting !Alive() contributes nothing this interval, and the
+// controller tracks its staleness instead of treating silence as an
+// idle rack.
+type LivenessSource interface {
+	// Alive reports whether the source can produce a report right now.
+	Alive() bool
+}
+
+// Degradation defaults: evict after this many consecutive missed
+// intervals, and freeze tuning when fewer than this fraction of the
+// current membership reported.
+const (
+	DefaultStaleAfter = 3
+	DefaultQuorumFrac = 0.5
+)
+
 // Controller is the centralized aggregation point: every monitor interval
 // it collects local reports from all agents, merges them into the
 // network-wide FSD, and fires the tuning trigger when the KL divergence
 // between successive distributions exceeds θ.
+//
+// The controller degrades gracefully when agents fail (see
+// LivenessSource): a dead agent is carried as a stale member for
+// StaleAfter intervals — during which, if the present fraction drops
+// below QuorumFrac, the trigger pipeline freezes — and is then evicted
+// from the membership so a permanently lost rack cannot freeze tuning
+// forever. Aggregation continues over the partial report set with the
+// resulting FSDs flagged Degraded. An evicted agent that comes back is
+// readmitted on its first live interval.
 type Controller struct {
 	// Agents are the per-ToR report sources.
 	Agents []ReportSource
@@ -12,9 +39,24 @@ type Controller struct {
 	// OnTrigger, if set, fires when traffic changed significantly.
 	OnTrigger func(FSD)
 
+	// StaleAfter is how many consecutive missed intervals a dead agent
+	// stays a (stale) member before eviction; 0 means DefaultStaleAfter.
+	StaleAfter int
+	// QuorumFrac is the minimum present fraction of the membership below
+	// which the trigger pipeline freezes; 0 means DefaultQuorumFrac.
+	QuorumFrac float64
+	// OnFault / OnRecover, if set, observe degradation transitions.
+	// agent is the index into Agents, or -1 for controller-level events
+	// (quorum). Faults: "agent_evict", "quorum_lost"; recoveries:
+	// "agent_readmit", "quorum_ok".
+	OnFault   func(fault string, agent int)
+	OnRecover func(fault string, agent int)
+
 	prev     FSD
 	hasPrev  bool
 	smoother Smoother
+	missed   []int
+	evicted  []bool
 
 	// Current is the smoothed network-wide FSD (see Smoother); Raw is
 	// the latest single-interval snapshot.
@@ -25,11 +67,87 @@ type Controller struct {
 	Triggers int
 	// LastKL is the divergence computed at the most recent tick.
 	LastKL float64
+
+	// Frozen reports that the last tick ran below quorum: the trigger
+	// pipeline (smoothing, KL, OnTrigger) was held and callers should
+	// hold tuning too. Degraded reports that at least one agent was
+	// absent or evicted, so distributions are partial.
+	Frozen   bool
+	Degraded bool
+	// Evictions, Readmits, and FrozenTicks count degradation activity.
+	Evictions, Readmits, FrozenTicks int
+	// PresentAgents is how many sources reported at the last tick.
+	PresentAgents int
 }
 
 // NewController wires agents with trigger threshold theta.
 func NewController(theta float64, agents ...ReportSource) *Controller {
 	return &Controller{Agents: agents, Theta: theta}
+}
+
+// staleAfter / quorumFrac resolve the zero-value defaults.
+func (c *Controller) staleAfter() int {
+	if c.StaleAfter > 0 {
+		return c.StaleAfter
+	}
+	return DefaultStaleAfter
+}
+
+func (c *Controller) quorumFrac() float64 {
+	if c.QuorumFrac > 0 {
+		return c.QuorumFrac
+	}
+	return DefaultQuorumFrac
+}
+
+// Evicted reports whether agent i is currently evicted from the
+// membership.
+func (c *Controller) Evicted(i int) bool {
+	return i < len(c.evicted) && c.evicted[i]
+}
+
+// gather collects reports from live sources, advances staleness and
+// eviction state, and returns the present reports plus the present and
+// member counts.
+func (c *Controller) gather() (locals []Report, present, members int) {
+	if c.missed == nil {
+		c.missed = make([]int, len(c.Agents))
+		c.evicted = make([]bool, len(c.Agents))
+	}
+	for i, a := range c.Agents {
+		alive := true
+		if ls, ok := a.(LivenessSource); ok {
+			alive = ls.Alive()
+		}
+		if alive {
+			if c.evicted[i] {
+				c.evicted[i] = false
+				c.Readmits++
+				if c.OnRecover != nil {
+					c.OnRecover("agent_readmit", i)
+				}
+			}
+			c.missed[i] = 0
+			locals = append(locals, a.EndInterval())
+			present++
+			members++
+			continue
+		}
+		if c.evicted[i] {
+			continue
+		}
+		c.missed[i]++
+		if c.missed[i] > c.staleAfter() {
+			c.evicted[i] = true
+			c.Evictions++
+			if c.OnFault != nil {
+				c.OnFault("agent_evict", i)
+			}
+			continue
+		}
+		members++
+	}
+	return locals, present, members
 }
 
 // Tick closes one monitor interval: gather, aggregate, compare, maybe
@@ -40,20 +158,45 @@ func NewController(theta float64, agents ...ReportSource) *Controller {
 // adapt to, and comparing against it would re-trigger tuning at every
 // round boundary. The previous distribution is kept until traffic
 // reappears.
+//
+// Below quorum the partial aggregate is returned (flagged Degraded) but
+// neither absorbed into the smoothed baseline nor compared for a
+// trigger: a half-blind snapshot says more about which agents died than
+// about the traffic, and letting it poison the EWMA would fire a bogus
+// trigger the moment the quorum returns.
 func (c *Controller) Tick() FSD {
-	locals := make([]Report, len(c.Agents))
-	for i, a := range c.Agents {
-		locals[i] = a.EndInterval()
+	locals, present, members := c.gather()
+	c.PresentAgents = present
+	c.Degraded = len(c.Agents) > 0 && present < len(c.Agents)
+
+	wasFrozen := c.Frozen
+	c.Frozen = len(c.Agents) > 0 &&
+		(members == 0 || float64(present)/float64(members) < c.quorumFrac())
+	if c.Frozen != wasFrozen {
+		if c.Frozen {
+			if c.OnFault != nil {
+				c.OnFault("quorum_lost", -1)
+			}
+		} else if c.OnRecover != nil {
+			c.OnRecover("quorum_ok", -1)
+		}
 	}
+
 	raw := Aggregate(locals...)
+	raw.Degraded = c.Degraded
 	c.Ticks++
 	c.LastKL = 0
 	c.Raw = raw
+	if c.Frozen {
+		c.FrozenTicks++
+		return raw
+	}
 	if raw.TotalBytes == 0 {
 		c.Current = c.smoother.Update(raw) // no-op; keeps the average
 		return c.Current
 	}
 	fsd := c.smoother.Update(raw)
+	fsd.Degraded = c.Degraded
 	c.Current = fsd
 	if c.hasPrev {
 		c.LastKL = TriggerDivergence(fsd, c.prev)

@@ -75,6 +75,12 @@ type FSD struct {
 	TotalBytes float64
 	// Flows is the number of distinct tracked flows.
 	Flows int
+	// Degraded flags a distribution aggregated from an incomplete agent
+	// set (crashed or evicted agents): with the insert-once rule every
+	// flow is recorded at exactly one switch, so a missing agent silently
+	// removes its flows from the histogram. Consumers should treat the
+	// shape as reduced-confidence rather than ground truth.
+	Degraded bool
 }
 
 // Aggregate merges local reports into the network-wide FSD — the

@@ -1,0 +1,81 @@
+package netdev
+
+import (
+	"testing"
+
+	"repro/internal/eventsim"
+)
+
+func TestPortLinkDownHoldsThenResumes(t *testing.T) {
+	// 1 Gbps, 1 µs propagation: one 1250 B packet takes 10 µs + 1 µs.
+	eng, p, dst := newPort(t, 1e9, eventsim.Microsecond)
+
+	p.SetLinkUp(false)
+	if p.LinkUp() {
+		t.Fatal("LinkUp after SetLinkUp(false)")
+	}
+	p.Enqueue(&Packet{Kind: KindData, Class: ClassData, WireBytes: 1250}, -1)
+	eng.RunUntil(50 * eventsim.Microsecond)
+	if len(dst.pkts) != 0 {
+		t.Fatalf("delivered %d packets across a down link", len(dst.pkts))
+	}
+	if p.QueueBytes(ClassData) == 0 {
+		t.Error("down link dropped instead of holding")
+	}
+
+	p.SetLinkUp(true)
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets after link restore, want 1", len(dst.pkts))
+	}
+	if p.Stats.LinkDowns != 1 {
+		t.Errorf("LinkDowns=%d, want 1", p.Stats.LinkDowns)
+	}
+}
+
+func TestPortLinkDownStillSendsPFC(t *testing.T) {
+	// PFC control frames must cross a "down" link: the outage model holds
+	// data, but losing a RESUME would deadlock the upstream queue forever.
+	eng, p, dst := newPort(t, 1e9, eventsim.Microsecond)
+	p.SetLinkUp(false)
+	p.SendPFC(true, ClassData)
+	eng.Run()
+	if len(dst.pkts) != 1 || dst.pkts[0].Kind != KindPFC {
+		t.Fatalf("PFC frame did not cross the down link (got %d pkts)", len(dst.pkts))
+	}
+}
+
+func TestPortDegradationSlowsAndDelays(t *testing.T) {
+	eng, p, dst := newPort(t, 1e9, eventsim.Microsecond)
+	// Half rate doubles serialization (10→20 µs); +4 µs propagation.
+	p.SetDegradation(0.5, 4*eventsim.Microsecond)
+	if !p.Degraded() {
+		t.Fatal("Degraded() false after SetDegradation")
+	}
+	p.Enqueue(&Packet{Kind: KindData, Class: ClassData, WireBytes: 1250}, -1)
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(dst.pkts))
+	}
+	want := 25 * eventsim.Microsecond // 20 serialization + 1 prop + 4 extra
+	if dst.times[0] != want {
+		t.Errorf("arrival at %v, want %v", dst.times[0], want)
+	}
+	p.SetDegradation(1, 0)
+	if p.Degraded() {
+		t.Error("Degraded() true after reset")
+	}
+}
+
+func TestPortDegradationClamps(t *testing.T) {
+	eng, p, _ := newPort(t, 1e9, eventsim.Microsecond)
+	_ = eng
+	p.SetDegradation(-2, -eventsim.Microsecond)
+	if p.Degraded() {
+		t.Error("negative inputs should clamp to healthy")
+	}
+	p.SetDegradation(7, 0)
+	if p.Degraded() {
+		t.Error("factor > 1 should clamp to 1")
+	}
+}

@@ -53,6 +53,8 @@ type PortStats struct {
 	TxDataBytes          int64 // class 0 only
 	ECNMarked            int64
 	PFCSent, PFCReceived int64
+	// LinkDowns counts SetLinkUp(false) transitions (fault injection).
+	LinkDowns int64
 }
 
 // EgressPort is one direction of a link: priority queues, a transmitter
@@ -70,6 +72,16 @@ type EgressPort struct {
 	queues [NumClasses]fifo
 	busy   bool
 	paused [NumClasses]bool
+
+	// Link fault state (internal/chaos). A down link holds its queues —
+	// the sim has no link-layer retransmit, so dropping in-queue lossless
+	// traffic would strand flows forever; holding models an outage that
+	// upper layers experience as unbounded delay while ECMP routes new
+	// traffic around the port. rateFactor < 1 and extraDelay model a
+	// degraded (flapping, mis-negotiated) link that still passes traffic.
+	up         bool
+	rateFactor float64
+	extraDelay eventsim.Time
 
 	// marker returns the ECN mark probability for a class-0 queue depth;
 	// nil disables marking (host ports).
@@ -99,8 +111,44 @@ func NewEgressPort(eng *eventsim.Engine, rateBps float64, prop eventsim.Time, rn
 	if rateBps <= 0 {
 		panic("netdev: non-positive port rate")
 	}
-	return &EgressPort{eng: eng, rateBps: rateBps, prop: prop, rng: rng}
+	return &EgressPort{eng: eng, rateBps: rateBps, prop: prop, rng: rng, up: true, rateFactor: 1}
 }
+
+// LinkUp reports whether the link out of this port is up.
+func (p *EgressPort) LinkUp() bool { return p.up }
+
+// SetLinkUp raises or cuts the link. While down the port transmits
+// nothing (queued traffic is held, not dropped); restoring the link
+// restarts the transmitter. PFC control frames still cross the wire so
+// pause state cannot deadlock across an outage.
+func (p *EgressPort) SetLinkUp(up bool) {
+	if p.up == up {
+		return
+	}
+	p.up = up
+	if !up {
+		p.Stats.LinkDowns++
+		return
+	}
+	p.kick()
+}
+
+// SetDegradation installs a link-quality fault: the effective line rate
+// becomes rateFactor·rateBps and every packet pays extraDelay on top of
+// propagation. rateFactor is clamped to (0, 1]; pass (1, 0) to heal.
+func (p *EgressPort) SetDegradation(rateFactor float64, extraDelay eventsim.Time) {
+	if rateFactor <= 0 || rateFactor > 1 {
+		rateFactor = 1
+	}
+	if extraDelay < 0 {
+		extraDelay = 0
+	}
+	p.rateFactor = rateFactor
+	p.extraDelay = extraDelay
+}
+
+// Degraded reports whether a degradation fault is active.
+func (p *EgressPort) Degraded() bool { return p.rateFactor != 1 || p.extraDelay != 0 }
 
 // SetPeer wires the far end of the link: packets arrive at dev.Receive
 // with inPort = port.
@@ -128,9 +176,10 @@ func (p *EgressPort) RateBps() float64 { return p.rateBps }
 // QueueBytes reports the current depth of the given class queue.
 func (p *EgressPort) QueueBytes(class int) int64 { return p.queues[class].bytes }
 
-// serialization returns the wire time of n bytes at line rate.
+// serialization returns the wire time of n bytes at the effective line
+// rate (degradation faults cut it by rateFactor).
 func (p *EgressPort) serialization(n int) eventsim.Time {
-	return eventsim.Time(float64(n*8) / p.rateBps * 1e9)
+	return eventsim.Time(float64(n*8) / (p.rateBps * p.rateFactor) * 1e9)
 }
 
 // Enqueue appends a packet (tagged with its ingress port, −1 for locally
@@ -219,8 +268,11 @@ func (p *EgressPort) kick() {
 }
 
 // next picks the highest-priority eligible entry: control first, then
-// unpaused data.
+// unpaused data. A down link serves nothing.
 func (p *EgressPort) next() (queueEntry, int, bool) {
+	if !p.up {
+		return queueEntry{}, 0, false
+	}
 	if !p.paused[ClassCtrl] && !p.queues[ClassCtrl].empty() {
 		e, _ := p.queues[ClassCtrl].pop()
 		return e, ClassCtrl, true
@@ -249,13 +301,14 @@ func (p *EgressPort) transmit(e queueEntry, class int) {
 	p.busy = true
 	ser := p.serialization(pkt.WireBytes)
 	peer, port := p.peer, p.peerPort
+	delivery := p.prop + p.extraDelay
 	p.eng.After(ser, func() {
 		p.Stats.TxPackets++
 		p.Stats.TxBytes += int64(pkt.WireBytes)
 		if class == ClassData {
 			p.Stats.TxDataBytes += int64(pkt.WireBytes)
 		}
-		p.eng.After(p.prop, func() { peer.Receive(pkt, port) })
+		p.eng.After(delivery, func() { peer.Receive(pkt, port) })
 		// Clear busy before the departure hook: hosts re-enter their flow
 		// scheduler from it and must see the port as free.
 		p.busy = false

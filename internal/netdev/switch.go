@@ -135,7 +135,11 @@ func (s *Switch) Receive(pkt *Packet, inPort int) {
 	s.ports[out].Enqueue(pkt, -1)
 }
 
-// routePort picks the ECMP next hop for pkt.
+// routePort picks the ECMP next hop for pkt. Next hops whose link is
+// down are excluded — the switch reroutes over the surviving members of
+// the ECMP group, as a fabric with BFD/LACP link detection would. When
+// every next hop is down the packet still queues on its hashed port and
+// waits out the outage (the fabric is lossless; see EgressPort.SetLinkUp).
 func (s *Switch) routePort(pkt *Packet) int {
 	hops := s.topo.NextHops(s.node, pkt.Dst)
 	if len(hops) == 0 {
@@ -144,7 +148,17 @@ func (s *Switch) routePort(pkt *Packet) int {
 	if len(hops) == 1 {
 		return hops[0]
 	}
-	return hops[ecmpHash(pkt.FlowID, uint64(s.node))%uint64(len(hops))]
+	var alive [8]int
+	live := alive[:0]
+	for _, h := range hops {
+		if s.ports[h].LinkUp() {
+			live = append(live, h)
+		}
+	}
+	if len(live) == 0 {
+		live = hops
+	}
+	return live[ecmpHash(pkt.FlowID, uint64(s.node))%uint64(len(live))]
 }
 
 // pauseThreshold is the dynamic threshold α·(B − used).

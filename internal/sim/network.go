@@ -169,6 +169,45 @@ func (n *Network) devicePort(node topology.NodeID, port int) (netdev.Device, *ne
 	return sw, sw.Port(port)
 }
 
+// linkPorts resolves both directional egress ports of the a↔b link.
+func (n *Network) linkPorts(a, b topology.NodeID) (*netdev.EgressPort, *netdev.EgressPort, error) {
+	for i := range n.Topo.Links {
+		l := &n.Topo.Links[i]
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			_, pa := n.devicePort(l.A, l.APort)
+			_, pb := n.devicePort(l.B, l.BPort)
+			return pa, pb, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("sim: no link between nodes %d and %d", a, b)
+}
+
+// SetLinkUp raises or cuts both directions of the a↔b link (fault
+// injection). While down, queued traffic is held and switches ECMP-route
+// new traffic over surviving paths; see netdev.EgressPort.SetLinkUp.
+func (n *Network) SetLinkUp(a, b topology.NodeID, up bool) error {
+	pa, pb, err := n.linkPorts(a, b)
+	if err != nil {
+		return err
+	}
+	pa.SetLinkUp(up)
+	pb.SetLinkUp(up)
+	return nil
+}
+
+// DegradeLink applies a link-quality fault to both directions of the a↔b
+// link: effective rate becomes rateFactor·line rate and every packet pays
+// extraDelay. Pass (1, 0) to heal.
+func (n *Network) DegradeLink(a, b topology.NodeID, rateFactor float64, extraDelay eventsim.Time) error {
+	pa, pb, err := n.linkPorts(a, b)
+	if err != nil {
+		return err
+	}
+	pa.SetDegradation(rateFactor, extraDelay)
+	pb.SetDegradation(rateFactor, extraDelay)
+	return nil
+}
+
 // Host returns the RNIC for a host node.
 func (n *Network) Host(node topology.NodeID) *rnic.Host { return n.hostByNode[node] }
 

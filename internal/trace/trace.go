@@ -26,6 +26,13 @@ const (
 	KindSample       = "sample"
 	KindTrigger      = "trigger"
 	KindNote         = "note"
+	// KindFault / KindRecover bracket injected faults and the system's
+	// recovery from them (internal/chaos and the controller's
+	// degradation logic emit these); KindRollback records a reversion to
+	// the last-known-good parameter vector.
+	KindFault    = "fault"
+	KindRecover  = "recover"
+	KindRollback = "rollback"
 )
 
 // Event is one recorded occurrence. Unused fields are omitted from the
@@ -48,6 +55,12 @@ type Event struct {
 	OPFC *float64 `json:"opfc,omitempty"`
 
 	ElephantShare *float64 `json:"elephant_share,omitempty"`
+
+	// Fault names what went wrong or recovered (e.g. "link_down",
+	// "agent_crash", "quorum_lost"); Target names the affected entity
+	// (e.g. "link 2-6", "agent 1").
+	Fault  string `json:"fault,omitempty"`
+	Target string `json:"target,omitempty"`
 
 	Note string `json:"note,omitempty"`
 }
@@ -101,6 +114,22 @@ func (r *Recorder) Sample(s monitor.RuntimeSample) {
 func (r *Recorder) Trigger(fsd monitor.FSD) {
 	share := fsd.ElephantFlowShare
 	r.emit(Event{Kind: KindTrigger, ElephantShare: &share})
+}
+
+// Fault records an injected or detected fault against a target; it
+// implements half of chaos.Sink.
+func (r *Recorder) Fault(fault, target string) {
+	r.emit(Event{Kind: KindFault, Fault: fault, Target: target})
+}
+
+// Recover records recovery from a fault; the other half of chaos.Sink.
+func (r *Recorder) Recover(fault, target string) {
+	r.emit(Event{Kind: KindRecover, Fault: fault, Target: target})
+}
+
+// Rollback records a reversion to the last-known-good parameter vector.
+func (r *Recorder) Rollback(p dcqcn.Params) {
+	r.emit(Event{Kind: KindRollback, Params: &p})
 }
 
 // Note records a free-form annotation.
