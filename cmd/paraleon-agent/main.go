@@ -10,15 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/ctrlrpc"
 	"repro/internal/eventsim"
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -27,7 +30,19 @@ func main() {
 	duration := flag.Duration("duration", 100*time.Millisecond, "virtual run length")
 	load := flag.Float64("load", 0.4, "FB_Hadoop offered load")
 	scaleName := flag.String("scale", "quick", "fabric scale: quick | medium | paper")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/status and /debug/pprof on this address")
+	report := flag.Bool("report", false, "print a telemetry run summary after the run")
 	flag.Parse()
+
+	var telemetrySrv *telemetry.HTTPServer
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(nil, *telemetryAddr, telemetry.Default())
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		telemetrySrv = srv
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
 
 	var scale harness.Scale
 	switch *scaleName {
@@ -70,5 +85,13 @@ func main() {
 	if res.TP.Len() > 0 {
 		fmt.Printf("  final interval: TP=%.3f RTTnorm=%.3f\n",
 			res.TP.Values[res.TP.Len()-1], res.RTT.Values[res.RTT.Len()-1])
+	}
+	if *report {
+		telemetry.Default().BuildReport().Fprint(os.Stdout)
+	}
+	if telemetrySrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		telemetrySrv.Shutdown(shutCtx)
 	}
 }

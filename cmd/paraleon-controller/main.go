@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/ctrlrpc"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,7 +30,18 @@ func main() {
 	wPFC := flag.Float64("w-pfc", 0.3, "utility weight for PFC")
 	seed := flag.Int64("seed", 1, "tuner randomness seed")
 	statsEvery := flag.Duration("stats-every", 10*time.Second, "stats print period (0 disables)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/status and /debug/pprof on this address")
 	flag.Parse()
+
+	var telemetrySrv *telemetry.HTTPServer
+	if *telemetryAddr != "" {
+		tsrv, err := telemetry.Serve(nil, *telemetryAddr, telemetry.Default())
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		telemetrySrv = tsrv
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", tsrv.Addr())
+	}
 
 	cfg := ctrlrpc.DefaultServerConfig()
 	cfg.Theta = *theta
@@ -67,6 +80,11 @@ func main() {
 			fmt.Printf("\nfinal: reports=%d ticks=%d triggers=%d dispatches=%d in=%dB out=%dB cpu=%v\n",
 				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
 			srv.Close()
+			if telemetrySrv != nil {
+				shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				telemetrySrv.Shutdown(shutCtx)
+				cancel()
+			}
 			return
 		}
 	}

@@ -15,15 +15,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/eventsim"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 type experiment struct {
@@ -221,6 +224,32 @@ func experiments() []experiment {
 	}
 }
 
+// validateFlags rejects meaningless flag combinations up front, before
+// any experiment spends minutes of compute. set holds the names of flags
+// the user passed explicitly.
+func validateFlags(exp string, workers int, horizon time.Duration, set map[string]bool) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", workers)
+	}
+	if horizon <= 0 {
+		return fmt.Errorf("-horizon must be positive, got %v", horizon)
+	}
+	if set["telemetry-hold"] && !set["telemetry-addr"] {
+		return fmt.Errorf("-telemetry-hold requires -telemetry-addr (nothing would serve the held endpoints)")
+	}
+	if exp == "" {
+		return nil // listing mode; experiment-specific flags are moot
+	}
+	isChaos := strings.HasPrefix(exp, "chaos-")
+	if set["chaos-trace"] && exp == "all" {
+		return fmt.Errorf("-chaos-trace cannot be combined with -exp all: each chaos experiment would overwrite the trace file; pick one chaos-* experiment")
+	}
+	if (set["chaos-seed"] || set["chaos-trace"]) && exp != "all" && !isChaos {
+		return fmt.Errorf("-chaos-seed and -chaos-trace only apply to chaos-* experiments, not %q", exp)
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
 	scaleName := flag.String("scale", "quick", "fabric scale: quick | medium | paper")
@@ -231,10 +260,47 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-arm completion progress to stderr")
 	seed := flag.Int64("chaos-seed", 1, "fault scenario seed for chaos-* experiments")
 	ctrace := flag.String("chaos-trace", "", "file for the chaos experiments' JSONL event trace")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/status and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
+	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the telemetry server up this long after experiments finish (requires -telemetry-addr)")
+	report := flag.Bool("report", false, "print a telemetry run summary after experiments finish")
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(*exp, *workers, *horizon, set); err != nil {
+		fmt.Fprintf(os.Stderr, "paraleon-sim: %v\n", err)
+		os.Exit(2)
+	}
 	csvDir = *csv
 	chaosSeed = *seed
 	chaosTrace = *ctrace
+
+	var telemetrySrv *telemetry.HTTPServer
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(nil, *telemetryAddr, telemetry.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paraleon-sim: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		telemetrySrv = srv
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+	// finish runs after the experiments on every successful path: emit
+	// the -report summary, then hold the telemetry endpoints up for
+	// scrapers before shutting down.
+	finish := func() {
+		if *report {
+			telemetry.Default().BuildReport().Fprint(os.Stdout)
+		}
+		if telemetrySrv != nil {
+			if *telemetryHold > 0 {
+				fmt.Fprintf(os.Stderr, "telemetry: holding endpoints for %v\n", *telemetryHold)
+				time.Sleep(*telemetryHold)
+			}
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			telemetrySrv.Shutdown(shutCtx)
+		}
+	}
 
 	exps := experiments()
 	if *list || *exp == "" {
@@ -294,11 +360,13 @@ func main() {
 		for _, e := range exps {
 			run(e)
 		}
+		finish()
 		return
 	}
 	for _, e := range exps {
 		if e.name == *exp {
 			run(e)
+			finish()
 			return
 		}
 	}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/dcqcn"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 )
 
 // Weights are the operator-assigned utility weights ω_TP, ω_RTT, ω_PFC of
@@ -169,9 +170,17 @@ type Tuner struct {
 
 	// Rounds counts completed tuning sessions; Steps counts SA
 	// iterations consumed; Aborts counts sessions cancelled by Abort.
-	Rounds int
-	Steps  int
-	Aborts int
+	// Accepts and Rejects split the Metropolis decisions over candidate
+	// measurements (warmup and seeding intervals count toward neither).
+	Rounds  int
+	Steps   int
+	Aborts  int
+	Accepts int
+	Rejects int
+	// TM, when non-nil, mirrors search activity into the telemetry
+	// registry (iterations, accept/reject, session lifecycle, best
+	// utility and temperature gauges).
+	TM *telemetry.TunerMetrics
 	// Trace records best-so-far utility per iteration of the current or
 	// last session, on the annealer's 0–100 scale (Fig 12's convergence
 	// curves).
@@ -209,6 +218,10 @@ func (t *Tuner) Best() dcqcn.Params { return t.best }
 // BestUtility returns the utility of Best on the annealer's 0–100 scale.
 func (t *Tuner) BestUtility() float64 { return t.bestUtil }
 
+// Temperature reports the current annealing temperature (the last
+// session's floor when idle).
+func (t *Tuner) Temperature() float64 { return t.temp }
+
 // Trigger starts (or restarts) a tuning session in response to a
 // significant traffic-pattern change.
 func (t *Tuner) Trigger(fsd monitor.FSD) {
@@ -221,6 +234,10 @@ func (t *Tuner) Trigger(fsd monitor.FSD) {
 	t.currentUtil = math.Inf(-1)
 	t.Trace = t.Trace[:0]
 	t.observeFSD(fsd)
+	if t.TM != nil {
+		t.TM.Active.Set(1)
+		t.TM.Temperature.Set(t.temp)
+	}
 }
 
 func (t *Tuner) observeFSD(fsd monitor.FSD) {
@@ -237,6 +254,10 @@ func (t *Tuner) Abort() {
 	}
 	t.active = false
 	t.Aborts++
+	if t.TM != nil {
+		t.TM.Aborts.Inc()
+		t.TM.Active.Set(0)
+	}
 }
 
 // Step advances one SA iteration (lines 4–23 of Algorithm 1): the sample
@@ -256,6 +277,9 @@ func (t *Tuner) Step(sample monitor.RuntimeSample, fsd monitor.FSD) (dcqcn.Param
 	// accept everything and the search would degenerate to a random walk.
 	newUtil := 100 * Utility(sample, t.weights)
 	t.Steps++
+	if t.TM != nil {
+		t.TM.Iterations.Inc()
+	}
 
 	if t.warmup {
 		// The interval in which the trigger fired straddles the traffic
@@ -281,12 +305,24 @@ func (t *Tuner) Step(sample monitor.RuntimeSample, fsd monitor.FSD) (dcqcn.Param
 	if newUtil > t.currentUtil || math.Exp((newUtil-t.currentUtil)/t.temp) > t.rng.Float64() {
 		t.current = t.pending
 		t.currentUtil = newUtil
+		t.Accepts++
+		if t.TM != nil {
+			t.TM.Accepts.Inc()
+		}
+	} else {
+		t.Rejects++
+		if t.TM != nil {
+			t.TM.Rejects.Inc()
+		}
 	}
 	if t.currentUtil > t.bestUtil {
 		t.best = t.current
 		t.bestUtil = t.currentUtil
 	}
 	t.Trace = append(t.Trace, t.bestUtil)
+	if t.TM != nil {
+		t.TM.BestUtility.Set(t.bestUtil)
+	}
 
 	t.iter++
 	if t.iter >= t.cfg.TotalIterNum {
@@ -296,7 +332,15 @@ func (t *Tuner) Step(sample monitor.RuntimeSample, fsd monitor.FSD) (dcqcn.Param
 			// Session over: settle on the best setting found.
 			t.active = false
 			t.Rounds++
+			if t.TM != nil {
+				t.TM.Sessions.Inc()
+				t.TM.Active.Set(0)
+				t.TM.Temperature.Set(t.temp)
+			}
 			return t.best, true
+		}
+		if t.TM != nil {
+			t.TM.Temperature.Set(t.temp)
 		}
 		// Elitist re-centering at each temperature level: guided
 		// mutation biases ~min(μ,η) of the parameters in one direction,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -40,6 +41,10 @@ type SystemConfig struct {
 	// pre-fault-tolerance behaviour: controller defaults for staleness
 	// and quorum, rollback disabled.
 	Degrade DegradeConfig
+	// Telemetry selects the metrics registry the deployment instruments
+	// itself against; nil means telemetry.Default(), so every run a
+	// binary performs lands in its -telemetry-addr / -report surface.
+	Telemetry *telemetry.Registry
 }
 
 // DegradeConfig is the graceful-degradation policy of a deployment.
@@ -114,6 +119,54 @@ type System struct {
 	// been applied.
 	OnDispatch func(p dcqcn.Params)
 	OnRollback func(p dcqcn.Params)
+	// Trace, when non-nil, receives span-linked control-loop events: a
+	// span opens at each tuning trigger, every dispatch of the session
+	// carries its ID, and the span closes when the session settles or
+	// aborts. trace.Recorder satisfies this.
+	Trace TraceSink
+
+	// Telemetry instrumentation (resolved from SystemConfig.Telemetry).
+	reg   *telemetry.Registry
+	TM    *telemetry.TunerMetrics
+	vtime *telemetry.Gauge
+
+	sessionSpan  uint64
+	sessionStart eventsim.Time
+}
+
+// TraceSink receives span-linked control-loop trace events. It is
+// satisfied by *trace.Recorder (defined structurally here so core does
+// not depend on the trace package).
+type TraceSink interface {
+	// SpanStart opens a named span under parent (0 = root) and returns
+	// its ID; SpanEnd closes it.
+	SpanStart(name string, parent uint64) uint64
+	SpanEnd(id uint64)
+	// TriggerIn / DispatchIn / RollbackIn record loop events linked
+	// into a span (0 = unlinked).
+	TriggerIn(span uint64, fsd monitor.FSD)
+	DispatchIn(span uint64, p dcqcn.Params)
+	RollbackIn(span uint64, p dcqcn.Params)
+}
+
+// LoopStatus is the /debug/status snapshot of one control loop,
+// published to the telemetry registry every monitor interval.
+type LoopStatus struct {
+	VirtualTimeNs int64        `json:"virtual_time_ns"`
+	Params        dcqcn.Params `json:"params"`
+	Frozen        bool         `json:"frozen"`
+	Degraded      bool         `json:"degraded"`
+	PresentAgents int          `json:"present_agents"`
+	Triggers      int          `json:"triggers"`
+	LastKL        float64      `json:"last_kl"`
+	TunerActive   bool         `json:"tuner_active"`
+	Temperature   float64      `json:"temperature"`
+	BestUtility   float64      `json:"best_utility"`
+	Iterations    int          `json:"iterations"`
+	Sessions      int          `json:"sessions"`
+	Aborts        int          `json:"aborts"`
+	Dispatches    int          `json:"dispatches"`
+	Rollbacks     int          `json:"rollbacks"`
 }
 
 // Attach builds a Paraleon deployment on net. The search starts from the
@@ -137,6 +190,13 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 	if s.probe <= 0 {
 		s.probe = cfg.Interval / 4
 	}
+	s.reg = cfg.Telemetry
+	if s.reg == nil {
+		s.reg = telemetry.Default()
+	}
+	s.TM = telemetry.NewTunerMetrics(s.reg)
+	s.Tuner.TM = s.TM
+	s.vtime = telemetry.VirtualTime(s.reg)
 
 	scope := cfg.Scope
 	if scope == nil {
@@ -145,8 +205,10 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 	s.scope = cfg.Scope
 	sources := cfg.Sources
 	if sources == nil {
+		sketchTM := telemetry.NewSketchMetrics(s.reg)
 		for i, tor := range scope {
 			a := monitor.NewSwitchAgent(cfg.Agent, uint64(cfg.Seed)+uint64(i)+1)
+			a.TM = sketchTM
 			a.Attach(net.Switch(tor))
 			s.Agents = append(s.Agents, a)
 			sources = append(sources, a)
@@ -155,16 +217,32 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 	s.Controller = monitor.NewController(cfg.Theta, sources...)
 	s.Controller.StaleAfter = cfg.Degrade.StaleAfter
 	s.Controller.QuorumFrac = cfg.Degrade.QuorumFrac
+	s.Controller.TM = telemetry.NewMonitorMetrics(s.reg)
 	// A session runs to its temperature floor (Algorithm 1); KL spikes
 	// during an active search must not restart it, or noisy FSDs would
 	// pin the tuner at maximum temperature forever.
 	s.Controller.OnTrigger = func(fsd monitor.FSD) {
 		if !s.Tuner.Active() {
-			s.Tuner.Trigger(fsd)
+			s.beginSession(fsd)
 		}
 	}
 	s.Collector = monitor.NewScopedRuntimeCollector(net, scope)
 	return s, nil
+}
+
+// beginSession starts (or restarts) a tuning session, opening its trace
+// span and stamping its start for latency accounting.
+func (s *System) beginSession(fsd monitor.FSD) {
+	if s.Trace != nil {
+		if s.Tuner.Active() && s.sessionSpan != 0 {
+			// Restarted mid-session (TriggerNow): close the old span.
+			s.Trace.SpanEnd(s.sessionSpan)
+		}
+		s.sessionSpan = s.Trace.SpanStart("sa_session", 0)
+		s.Trace.TriggerIn(s.sessionSpan, fsd)
+	}
+	s.sessionStart = s.Net.Eng.Now()
+	s.Tuner.Trigger(fsd)
 }
 
 // AttachPartitioned deploys one independent Paraleon instance per cluster
@@ -215,7 +293,7 @@ func (s *System) Stop() {
 // TriggerNow force-starts a tuning session with the current FSD,
 // regardless of the KL trigger (used by the no-FSD ablation and by
 // pretraining runs).
-func (s *System) TriggerNow() { s.Tuner.Trigger(s.Controller.Current) }
+func (s *System) TriggerNow() { s.beginSession(s.Controller.Current) }
 
 func (s *System) armTick() {
 	s.tickEv = s.Net.Eng.After(s.interval, func() {
@@ -244,6 +322,9 @@ func (s *System) tick() {
 	s.LastSample = sample
 	util := Utility(sample, s.Tuner.weights)
 	s.UtilityTrace = append(s.UtilityTrace, util)
+	now := s.Net.Eng.Now()
+	s.vtime.Set(float64(now))
+	defer s.publishStatus(now)
 	// Quorum lost: the measurement substrate itself is broken, so any
 	// feedback this interval is suspect. Hold parameters steady (do not
 	// step the search or dispatch) until enough agents report again or
@@ -264,13 +345,51 @@ func (s *System) tick() {
 	if s.checkRollback(util) {
 		return
 	}
+	wasActive := s.Tuner.Active()
 	if p, ok := s.Tuner.Step(sample, fsd); ok {
 		s.apply(p)
 		s.Dispatches++
+		s.TM.Dispatches.Inc()
+		s.TM.DispatchLatencyMs.Observe(float64(now-s.sessionStart) / 1e6)
 		if s.OnDispatch != nil {
 			s.OnDispatch(p)
 		}
+		if s.Trace != nil {
+			s.Trace.DispatchIn(s.sessionSpan, p)
+		}
+		if wasActive && !s.Tuner.Active() {
+			// The session settled on this dispatch.
+			s.TM.SettleMs.Observe(float64(now-s.sessionStart) / 1e6)
+			if s.Trace != nil && s.sessionSpan != 0 {
+				s.Trace.SpanEnd(s.sessionSpan)
+				s.sessionSpan = 0
+			}
+		}
 	}
+}
+
+// publishStatus pushes the loop's state snapshot into the registry, where
+// the /debug/status endpoint and -report summaries read it. Push (rather
+// than letting HTTP handlers poll the System) keeps the single-threaded
+// simulation state off concurrent scrape goroutines.
+func (s *System) publishStatus(now eventsim.Time) {
+	s.reg.PublishStatus("control_loop", LoopStatus{
+		VirtualTimeNs: int64(now),
+		Params:        s.current,
+		Frozen:        s.Controller.Frozen,
+		Degraded:      s.Controller.Degraded,
+		PresentAgents: s.Controller.PresentAgents,
+		Triggers:      s.Controller.Triggers,
+		LastKL:        s.Controller.LastKL,
+		TunerActive:   s.Tuner.Active(),
+		Temperature:   s.Tuner.Temperature(),
+		BestUtility:   s.Tuner.BestUtility(),
+		Iterations:    s.Tuner.Steps,
+		Sessions:      s.Tuner.Rounds,
+		Aborts:        s.Tuner.Aborts,
+		Dispatches:    s.Dispatches,
+		Rollbacks:     s.Rollbacks,
+	})
 }
 
 // apply dispatches p to the system's scope and records it as the live
@@ -321,8 +440,10 @@ func (s *System) checkRollback(util float64) bool {
 		return false
 	}
 	s.apply(s.lastGood)
+	wasActive := s.Tuner.Active()
 	s.Tuner.Abort()
 	s.Rollbacks++
+	s.TM.Rollbacks.Inc()
 	s.regress = 0
 	// The regression has tainted the baseline too: re-anchor the good
 	// utility at the current level so a persistent fault does not fire
@@ -330,6 +451,13 @@ func (s *System) checkRollback(util float64) bool {
 	s.goodUtil = s.utilEWMA
 	if s.OnRollback != nil {
 		s.OnRollback(s.lastGood)
+	}
+	if s.Trace != nil {
+		s.Trace.RollbackIn(s.sessionSpan, s.lastGood)
+		if wasActive && s.sessionSpan != 0 {
+			s.Trace.SpanEnd(s.sessionSpan)
+			s.sessionSpan = 0
+		}
 	}
 	return true
 }

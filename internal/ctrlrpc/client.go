@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dcqcn"
+	"repro/internal/telemetry"
 )
 
 // Client is one agent's (or the tick driver's) connection to the
@@ -19,6 +20,10 @@ type Client struct {
 
 	// BytesIn and BytesOut count wire traffic for overhead accounting.
 	BytesIn, BytesOut int64
+
+	// TM, when non-nil, mirrors frame and byte flow into the telemetry
+	// registry.
+	TM *telemetry.RPCMetrics
 }
 
 // Dial connects to a controller with a sane timeout.
@@ -49,11 +54,19 @@ func (c *Client) roundTrip(typ byte, msg any) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	c.BytesOut += int64(n)
+	if c.TM != nil {
+		c.TM.FramesOut.Inc()
+		c.TM.BytesOut.Add(int64(n))
+	}
 	rtyp, payload, rn, err := ReadFrame(c.br)
 	if err != nil {
 		return 0, nil, err
 	}
 	c.BytesIn += int64(rn)
+	if c.TM != nil {
+		c.TM.FramesIn.Inc()
+		c.TM.BytesIn.Add(int64(rn))
+	}
 	return rtyp, payload, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dcqcn"
+	"repro/internal/telemetry"
 )
 
 // Backoff defaults: redial attempts are spaced BaseDelay, 2×, 4×, …
@@ -47,6 +48,10 @@ type ReconnClient struct {
 	// across connections.
 	Reconnects        int
 	BytesIn, BytesOut int64
+
+	// TM, when non-nil, mirrors retry/reconnect activity (and, via the
+	// wrapped Client, frame and byte flow) into the telemetry registry.
+	TM *telemetry.RPCMetrics
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -135,8 +140,12 @@ func (r *ReconnClient) redial() error {
 		if attempt > 0 {
 			time.Sleep(r.backoffDelay(attempt))
 		}
+		if r.TM != nil {
+			r.TM.Retries.Inc()
+		}
 		c, err := r.dial()
 		if err == nil {
+			c.TM = r.TM
 			r.c = c
 			return nil
 		}
@@ -164,6 +173,7 @@ func (r *ReconnClient) SendReport(rep Report) error {
 			return err
 		}
 	}
+	r.c.TM = r.TM // TM may have been set after the initial dial
 	if err := r.c.SendReport(rep); err == nil {
 		return nil
 	}
@@ -171,6 +181,9 @@ func (r *ReconnClient) SendReport(rep Report) error {
 		return err
 	}
 	r.Reconnects++
+	if r.TM != nil {
+		r.TM.Reconnects.Inc()
+	}
 	return r.c.SendReport(rep)
 }
 
@@ -181,6 +194,7 @@ func (r *ReconnClient) Tick(seq uint64, interval time.Duration) (dcqcn.Params, b
 			return dcqcn.Params{}, false, false, err
 		}
 	}
+	r.c.TM = r.TM // TM may have been set after the initial dial
 	p, changed, trig, err := r.c.Tick(seq, interval)
 	if err == nil {
 		return p, changed, trig, nil
@@ -189,5 +203,8 @@ func (r *ReconnClient) Tick(seq uint64, interval time.Duration) (dcqcn.Params, b
 		return dcqcn.Params{}, false, false, err
 	}
 	r.Reconnects++
+	if r.TM != nil {
+		r.TM.Reconnects.Inc()
+	}
 	return r.c.Tick(seq, interval)
 }

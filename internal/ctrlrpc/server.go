@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dcqcn"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 )
 
 // ServerConfig parameterizes the centralized controller.
@@ -28,6 +29,9 @@ type ServerConfig struct {
 	Seed int64
 	// Logger receives connection errors; nil silences them.
 	Logger *log.Logger
+	// Telemetry selects the metrics registry the server instruments
+	// itself against; nil means telemetry.Default().
+	Telemetry *telemetry.Registry
 }
 
 // DefaultServerConfig mirrors Table III.
@@ -72,6 +76,21 @@ type Server struct {
 	wg     sync.WaitGroup
 	conns  map[net.Conn]bool
 	closed bool
+
+	reg *telemetry.Registry
+	tm  *telemetry.RPCMetrics
+	mm  *telemetry.MonitorMetrics
+}
+
+// controllerStatus is the server's /debug/status section.
+type controllerStatus struct {
+	Params      dcqcn.Params `json:"params"`
+	Ticks       int64        `json:"ticks"`
+	Reports     int64        `json:"reports"`
+	Triggers    int64        `json:"triggers"`
+	Dispatches  int64        `json:"dispatches"`
+	TunerActive bool         `json:"tuner_active"`
+	BestUtility float64      `json:"best_utility"`
 }
 
 // Serve starts a controller on addr (e.g. "127.0.0.1:0") and returns once
@@ -86,6 +105,13 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, ln: ln, tuner: tuner, current: cfg.Base, conns: map[net.Conn]bool{}}
+	s.reg = cfg.Telemetry
+	if s.reg == nil {
+		s.reg = telemetry.Default()
+	}
+	s.tm = telemetry.NewRPCMetrics(s.reg)
+	s.mm = telemetry.NewMonitorMetrics(s.reg)
+	s.tuner.TM = telemetry.NewTunerMetrics(s.reg)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -178,6 +204,8 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		s.stats.BytesIn += int64(n)
 		s.mu.Unlock()
+		s.tm.FramesIn.Inc()
+		s.tm.BytesIn.Add(int64(n))
 
 		var out int
 		switch typ {
@@ -191,6 +219,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.pending = append(s.pending, r)
 			s.stats.Reports++
 			s.mu.Unlock()
+			s.tm.Reports.Inc()
 			out, err = WriteFrame(bw, TypeAck, nil)
 		case TypeTick:
 			var t TickMsg
@@ -211,6 +240,8 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		s.stats.BytesOut += int64(out)
 		s.mu.Unlock()
+		s.tm.FramesOut.Inc()
+		s.tm.BytesOut.Add(int64(out))
 	}
 }
 
@@ -224,6 +255,19 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 	reports := s.pending
 	s.pending = nil
 	s.stats.Ticks++
+	s.tm.Ticks.Inc()
+	s.mm.Ticks.Inc()
+	defer func() {
+		s.reg.PublishStatus("controller", controllerStatus{
+			Params:      s.current,
+			Ticks:       s.stats.Ticks,
+			Reports:     s.stats.Reports,
+			Triggers:    s.stats.Triggers,
+			Dispatches:  s.stats.Dispatches,
+			TunerActive: s.tuner.Active(),
+			BestUtility: s.tuner.BestUtility(),
+		})
+	}()
 
 	locals := make([]monitor.Report, 0, len(reports))
 	sample := monitor.RuntimeSample{ORTT: 1, OPFC: 1}
@@ -260,17 +304,27 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 		// worth feeding the search (see monitor.Controller.Tick).
 		return resp
 	}
+	s.mm.FSDFlows.Observe(float64(raw.Flows))
+	s.mm.FSDBytes.Observe(raw.TotalBytes)
 	// Compare time-averaged distributions (see monitor.Smoother).
 	fsd := s.smoother.Update(raw)
+	s.mm.ElephantShare.Set(fsd.ElephantFlowShare)
 	triggered := false
-	if s.hasPrev && monitor.TriggerDivergence(fsd, s.prev) > s.cfg.Theta && !s.tuner.Active() {
-		s.tuner.Trigger(fsd)
-		s.stats.Triggers++
-		triggered = true
-	} else if !s.hasPrev {
+	if s.hasPrev {
+		kl := monitor.TriggerDivergence(fsd, s.prev)
+		s.mm.LastKL.Set(kl)
+		s.mm.KL.Observe(kl)
+		if kl > s.cfg.Theta && !s.tuner.Active() {
+			s.tuner.Trigger(fsd)
+			s.stats.Triggers++
+			s.mm.Triggers.Inc()
+			triggered = true
+		}
+	} else {
 		// First interval with traffic: treat as a change from nothing.
 		s.tuner.Trigger(fsd)
 		s.stats.Triggers++
+		s.mm.Triggers.Inc()
 		triggered = true
 	}
 	s.prev = fsd
@@ -279,6 +333,7 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 	if p, ok := s.tuner.Step(sample, fsd); ok {
 		s.current = p
 		s.stats.Dispatches++
+		s.tuner.TM.Dispatches.Inc()
 		resp.Changed = true
 		resp.Params = ToWire(p)
 	}

@@ -14,20 +14,25 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // chaosSink counts fault activity and forwards it to an optional trace
-// recorder.
+// recorder and the chaos telemetry family.
 type chaosSink struct {
 	rec              *trace.Recorder
+	tm               *telemetry.ChaosMetrics
 	faults, recovers int
 }
 
 func (s *chaosSink) Fault(fault, target string) {
 	s.faults++
+	if s.tm != nil {
+		s.tm.Faults.Inc()
+	}
 	if s.rec != nil {
 		s.rec.Fault(fault, target)
 	}
@@ -35,6 +40,9 @@ func (s *chaosSink) Fault(fault, target string) {
 
 func (s *chaosSink) Recover(fault, target string) {
 	s.recovers++
+	if s.tm != nil {
+		s.tm.Recovers.Inc()
+	}
 	if s.rec != nil {
 		s.rec.Recover(fault, target)
 	}
@@ -135,15 +143,23 @@ func RunChaos(cfg ChaosRunConfig) (*ChaosResult, error) {
 	if cfg.TraceTo != nil {
 		rec = trace.NewRecorder(n.Eng, cfg.TraceTo)
 	}
-	sink := &chaosSink{rec: rec}
+	reg := cfg.SystemCfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	cm := telemetry.NewChaosMetrics(reg)
+	sink := &chaosSink{rec: rec, tm: cm}
 
 	// Every agent rides behind a FlakySource so scenarios can kill it.
 	sysCfg := cfg.SystemCfg
+	sysCfg.Telemetry = reg
 	sysCfg.Interval = interval
 	var flaky []*chaos.FlakySource
 	var sources []monitor.ReportSource
+	sketchTM := telemetry.NewSketchMetrics(reg)
 	for i, tor := range n.Topo.ToRs() {
 		a := monitor.NewSwitchAgent(sysCfg.Agent, uint64(i+1))
+		a.TM = sketchTM
 		a.Attach(n.Switch(tor))
 		f := chaos.NewFlakySource(a)
 		flaky = append(flaky, f)
@@ -156,9 +172,11 @@ func RunChaos(cfg ChaosRunConfig) (*ChaosResult, error) {
 	}
 	sys.Controller.OnFault = func(fault string, agent int) { sink.Fault(fault, chaosTarget(agent)) }
 	sys.Controller.OnRecover = func(fault string, agent int) { sink.Recover(fault, chaosTarget(agent)) }
+	sys.OnRollback = func(dcqcn.Params) { cm.Rollbacks.Inc() }
 	if rec != nil {
-		sys.OnDispatch = rec.Dispatch
-		sys.OnRollback = rec.Rollback
+		// Span-linked trace: the System opens an sa_session span per
+		// trigger and links its dispatches/rollbacks into it.
+		sys.Trace = rec
 	}
 
 	scenario := cfg.Scenario
@@ -398,16 +416,20 @@ func ChaosCtrlPartition(scale Scale, duration eventsim.Time, seed int64) (*Chaos
 		return ctrlrpc.NewClient(fc), nil
 	}
 
+	rpcTM := telemetry.NewRPCMetrics(telemetry.Default())
+	sketchTM := telemetry.NewSketchMetrics(telemetry.Default())
 	views := rackViews(n)
 	agents := make([]*monitor.SwitchAgent, len(views))
 	clients := make([]*ctrlrpc.ReconnClient, len(views))
 	for i, v := range views {
 		agents[i] = monitor.NewSwitchAgent(monitor.ParaleonAgentConfig(), uint64(i+1))
+		agents[i].TM = sketchTM
 		agents[i].Attach(n.Switch(v.tor))
 		rc, err := ctrlrpc.DialReconnectingWith(addr, 10, 2*time.Millisecond, 20*time.Millisecond, faultyDial)
 		if err != nil {
 			return nil, err
 		}
+		rc.TM = rpcTM
 		rc.SeedBackoff(seed + int64(i))
 		defer rc.Close()
 		clients[i] = rc
@@ -418,6 +440,7 @@ func ChaosCtrlPartition(scale Scale, duration eventsim.Time, seed int64) (*Chaos
 	if err != nil {
 		return nil, err
 	}
+	driver.TM = rpcTM
 	driver.SeedBackoff(seed - 1)
 	defer driver.Close()
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/netdev"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -37,6 +38,9 @@ type TestbedConfig struct {
 	// controller (e.g. cmd/paraleon-controller) instead of starting one
 	// in-process; Server is then ignored and Server stats are zero.
 	ControllerAddr string
+	// Telemetry selects the metrics registry the run instruments itself
+	// against; nil means telemetry.Default().
+	Telemetry *telemetry.Registry
 }
 
 // TestbedResult carries the run's series plus control-plane overheads.
@@ -143,10 +147,18 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 		return nil, err
 	}
 
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
 	addr := cfg.ControllerAddr
 	var srv *ctrlrpc.Server
 	if addr == "" {
-		srv, err = ctrlrpc.Serve("127.0.0.1:0", cfg.Server)
+		srvCfg := cfg.Server
+		if srvCfg.Telemetry == nil {
+			srvCfg.Telemetry = reg
+		}
+		srv, err = ctrlrpc.Serve("127.0.0.1:0", srvCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -154,16 +166,20 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 		addr = srv.Addr()
 	}
 
+	rpcTM := telemetry.NewRPCMetrics(reg)
+	sketchTM := telemetry.NewSketchMetrics(reg)
 	views := rackViews(n)
 	agents := make([]*monitor.SwitchAgent, len(views))
 	clients := make([]*ctrlrpc.Client, len(views))
 	for i, v := range views {
 		agents[i] = monitor.NewSwitchAgent(monitor.ParaleonAgentConfig(), uint64(i+1))
+		agents[i].TM = sketchTM
 		agents[i].Attach(n.Switch(v.tor))
 		c, err := ctrlrpc.Dial(addr)
 		if err != nil {
 			return nil, err
 		}
+		c.TM = rpcTM
 		defer c.Close()
 		clients[i] = c
 	}
@@ -171,6 +187,7 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	driver.TM = rpcTM
 	defer driver.Close()
 
 	for _, h := range n.Hosts {

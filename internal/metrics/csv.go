@@ -2,22 +2,34 @@ package metrics
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 )
 
+// Sentinel errors for WriteSeriesCSV input validation; wrapped errors
+// carry the offending series, so callers branch with errors.Is.
+var (
+	// ErrNoSeries means WriteSeriesCSV was called with nothing to write.
+	ErrNoSeries = errors.New("metrics: no series")
+	// ErrMisaligned means the series disagree on length or sample times
+	// and cannot share one time column.
+	ErrMisaligned = errors.New("metrics: series misaligned")
+)
+
 // WriteSeriesCSV exports one or more time series as CSV with a shared
 // time column (milliseconds). Series must be aligned: same length and
-// sample times (which the harness guarantees for series from one run).
+// sample times (which the harness guarantees for series from one run);
+// violations are reported as errors wrapping ErrMisaligned.
 func WriteSeriesCSV(w io.Writer, series ...*Series) error {
 	if len(series) == 0 {
-		return fmt.Errorf("metrics: no series")
+		return ErrNoSeries
 	}
 	n := series[0].Len()
 	for _, s := range series[1:] {
 		if s.Len() != n {
-			return fmt.Errorf("metrics: series %q has %d samples, want %d", s.Name, s.Len(), n)
+			return fmt.Errorf("%w: series %q has %d samples, want %d", ErrMisaligned, s.Name, s.Len(), n)
 		}
 	}
 	cw := csv.NewWriter(w)
@@ -38,7 +50,7 @@ func WriteSeriesCSV(w io.Writer, series ...*Series) error {
 		row[0] = strconv.FormatFloat(series[0].Times[i].Millis(), 'f', 3, 64)
 		for j, s := range series {
 			if s.Times[i] != series[0].Times[i] {
-				return fmt.Errorf("metrics: series %q misaligned at sample %d", s.Name, i)
+				return fmt.Errorf("%w: series %q at sample %d", ErrMisaligned, s.Name, i)
 			}
 			row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
 		}

@@ -76,19 +76,26 @@ func TestWriteSeriesCSV(t *testing.T) {
 }
 
 func TestWriteSeriesCSVValidation(t *testing.T) {
-	if err := WriteSeriesCSV(&bytes.Buffer{}); err == nil {
-		t.Error("no series accepted")
+	if err := WriteSeriesCSV(&bytes.Buffer{}); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("no series: err=%v, want ErrNoSeries", err)
 	}
 	a := &Series{Name: "a"}
 	a.Append(eventsim.Millisecond, 1)
 	b := &Series{Name: "b"}
-	if err := WriteSeriesCSV(&bytes.Buffer{}, a, b); err == nil {
-		t.Error("length mismatch accepted")
+	if err := WriteSeriesCSV(&bytes.Buffer{}, a, b); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("length mismatch: err=%v, want ErrMisaligned", err)
+	} else if !strings.Contains(err.Error(), `"b"`) {
+		t.Errorf("length mismatch error %v does not name the offending series", err)
 	}
 	c := &Series{Name: "c"}
 	c.Append(2*eventsim.Millisecond, 1)
-	if err := WriteSeriesCSV(&bytes.Buffer{}, a, c); err == nil {
-		t.Error("time misalignment accepted")
+	if err := WriteSeriesCSV(&bytes.Buffer{}, a, c); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("time misalignment: err=%v, want ErrMisaligned", err)
+	}
+	// Sentinels must stay distinguishable from each other and from
+	// unrelated errors.
+	if errors.Is(ErrMisaligned, ErrNoSeries) || errors.Is(ErrNoSeries, ErrMisaligned) {
+		t.Error("sentinel errors alias each other")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/netdev"
 	"repro/internal/sketch"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -61,6 +62,14 @@ type SwitchAgent struct {
 
 	// Skipped counts packets the insert-once rule declined.
 	Skipped int64
+
+	// TM, when non-nil, mirrors interval activity into the telemetry
+	// registry. Updates happen at interval granularity (EndInterval), so
+	// the per-packet insertion path stays untouched; many agents may
+	// share one bundle and accumulate into the same families.
+	TM *telemetry.SketchMetrics
+	// tmSkipped is the Skipped watermark already reported to TM.
+	tmSkipped int64
 }
 
 // NewSwitchAgent builds an agent; seed differentiates sketch hashing
@@ -104,6 +113,16 @@ func (a *SwitchAgent) Sketch() *sketch.Sketch { return a.sk }
 // flow states, and emit the local report.
 func (a *SwitchAgent) EndInterval() Report {
 	heavy := a.sk.HeavyFlows()
+	if a.TM != nil {
+		a.TM.Reads.Inc()
+		a.TM.Resets.Inc()
+		a.TM.Inserts.Add(a.sk.Inserts)
+		a.TM.Bytes.Add(a.sk.TotalBytes)
+		a.TM.Evictions.Add(a.sk.Evictions)
+		a.TM.Skipped.Add(a.Skipped - a.tmSkipped)
+		a.tmSkipped = a.Skipped
+		a.TM.HeavyFlows.Set(float64(len(heavy)))
+	}
 	// HeavyFlows folds flagged residents' Light Part residue into their
 	// estimates; subtract it from the light lump or that mass counts
 	// twice (once under the flow, once as unattributed mice bytes).

@@ -1,5 +1,7 @@
 package monitor
 
+import "repro/internal/telemetry"
+
 // LivenessSource is an optional extension of ReportSource for agents
 // that can fail (internal/chaos wraps agents this way): a source
 // reporting !Alive() contributes nothing this interval, and the
@@ -78,6 +80,10 @@ type Controller struct {
 	Evictions, Readmits, FrozenTicks int
 	// PresentAgents is how many sources reported at the last tick.
 	PresentAgents int
+
+	// TM, when non-nil, mirrors aggregation and degradation activity
+	// into the telemetry registry.
+	TM *telemetry.MonitorMetrics
 }
 
 // NewController wires agents with trigger threshold theta.
@@ -123,6 +129,9 @@ func (c *Controller) gather() (locals []Report, present, members int) {
 			if c.evicted[i] {
 				c.evicted[i] = false
 				c.Readmits++
+				if c.TM != nil {
+					c.TM.Readmits.Inc()
+				}
 				if c.OnRecover != nil {
 					c.OnRecover("agent_readmit", i)
 				}
@@ -140,6 +149,9 @@ func (c *Controller) gather() (locals []Report, present, members int) {
 		if c.missed[i] > c.staleAfter() {
 			c.evicted[i] = true
 			c.Evictions++
+			if c.TM != nil {
+				c.TM.Evictions.Inc()
+			}
 			if c.OnFault != nil {
 				c.OnFault("agent_evict", i)
 			}
@@ -187,8 +199,18 @@ func (c *Controller) Tick() FSD {
 	c.Ticks++
 	c.LastKL = 0
 	c.Raw = raw
+	if c.TM != nil {
+		c.TM.Ticks.Inc()
+		c.TM.PresentAgents.Set(float64(present))
+		c.TM.Degraded.SetBool(c.Degraded)
+		c.TM.FSDFlows.Observe(float64(raw.Flows))
+		c.TM.FSDBytes.Observe(raw.TotalBytes)
+	}
 	if c.Frozen {
 		c.FrozenTicks++
+		if c.TM != nil {
+			c.TM.FrozenTicks.Inc()
+		}
 		return raw
 	}
 	if raw.TotalBytes == 0 {
@@ -198,10 +220,20 @@ func (c *Controller) Tick() FSD {
 	fsd := c.smoother.Update(raw)
 	fsd.Degraded = c.Degraded
 	c.Current = fsd
+	if c.TM != nil {
+		c.TM.ElephantShare.Set(fsd.ElephantFlowShare)
+	}
 	if c.hasPrev {
 		c.LastKL = TriggerDivergence(fsd, c.prev)
+		if c.TM != nil {
+			c.TM.LastKL.Set(c.LastKL)
+			c.TM.KL.Observe(c.LastKL)
+		}
 		if c.LastKL > c.Theta {
 			c.Triggers++
+			if c.TM != nil {
+				c.TM.Triggers.Inc()
+			}
 			if c.OnTrigger != nil {
 				c.OnTrigger(fsd)
 			}
@@ -210,6 +242,9 @@ func (c *Controller) Tick() FSD {
 		// First traffic ever observed: the change from silence is a
 		// pattern change by definition.
 		c.Triggers++
+		if c.TM != nil {
+			c.TM.Triggers.Inc()
+		}
 		if c.OnTrigger != nil {
 			c.OnTrigger(fsd)
 		}

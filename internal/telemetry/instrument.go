@@ -1,0 +1,171 @@
+package telemetry
+
+// Subsystem metric bundles. Each bundle resolves its families from a
+// registry exactly once, so the instrumented components hold direct
+// handles and never touch the registry's mutex on their update paths.
+// Constructors are get-or-create: many components (parallel experiment
+// arms, one agent per ToR) can share one registry and accumulate into
+// the same families.
+
+// Metric name constants, exported so tests and scrape checks don't
+// drift from the instrumentation.
+const (
+	// VirtualTimeGauge is the simulator's virtual clock in nanoseconds,
+	// published by whichever control loop ticked last.
+	VirtualTimeGauge = "paraleon_virtual_time_ns"
+)
+
+// SketchMetrics covers the data-plane measurement structure: insert /
+// read / reset activity and Ostracism evictions, accumulated at
+// interval granularity so the per-packet path stays untouched.
+type SketchMetrics struct {
+	Inserts   *Counter // sketch insert operations (≈ packets recorded)
+	Bytes     *Counter // bytes credited to flows
+	Evictions *Counter // Ostracism replacements
+	Reads     *Counter // interval-end heavy-part reads
+	Resets    *Counter // interval-end resets
+	Skipped   *Counter // packets declined by the insert-once rule
+	HeavyFlows *Gauge  // heavy-part residents at the last read
+}
+
+// NewSketchMetrics resolves the sketch family set from r.
+func NewSketchMetrics(r *Registry) *SketchMetrics {
+	return &SketchMetrics{
+		Inserts:    r.Counter("paraleon_sketch_inserts_total", "Sketch insert operations across all agents."),
+		Bytes:      r.Counter("paraleon_sketch_bytes_total", "Bytes inserted into sketches across all agents."),
+		Evictions:  r.Counter("paraleon_sketch_evictions_total", "Ostracism evictions from sketch heavy parts."),
+		Reads:      r.Counter("paraleon_sketch_reads_total", "Interval-end sketch reads."),
+		Resets:     r.Counter("paraleon_sketch_resets_total", "Interval-end sketch resets."),
+		Skipped:    r.Counter("paraleon_sketch_skipped_total", "Packets skipped by the TOS insert-once rule."),
+		HeavyFlows: r.Gauge("paraleon_sketch_heavy_flows", "Heavy-part residents at the most recent interval read."),
+	}
+}
+
+// MonitorMetrics covers controller-side aggregation: interval ticks,
+// per-interval FSD sizes, KL trigger values and firings, and the
+// degradation ledger (quorum freezes, evictions, readmissions).
+type MonitorMetrics struct {
+	Ticks       *Counter
+	Triggers    *Counter
+	FrozenTicks *Counter
+	Evictions   *Counter
+	Readmits    *Counter
+
+	PresentAgents *Gauge
+	Degraded      *Gauge // 1 when the last FSD aggregated an incomplete agent set
+	ElephantShare *Gauge // ternary-weighted elephant flow share of the current FSD
+	LastKL        *Gauge
+
+	KL       *Histogram // per-interval trigger divergence
+	FSDFlows *Histogram // per-interval distinct tracked flows
+	FSDBytes *Histogram // per-interval aggregated byte mass
+}
+
+// NewMonitorMetrics resolves the monitor family set from r.
+func NewMonitorMetrics(r *Registry) *MonitorMetrics {
+	return &MonitorMetrics{
+		Ticks:         r.Counter("paraleon_monitor_ticks_total", "Monitor intervals closed by the controller."),
+		Triggers:      r.Counter("paraleon_monitor_triggers_total", "KL trigger firings."),
+		FrozenTicks:   r.Counter("paraleon_monitor_frozen_ticks_total", "Intervals held below quorum."),
+		Evictions:     r.Counter("paraleon_monitor_evictions_total", "Stale agents evicted from the membership."),
+		Readmits:      r.Counter("paraleon_monitor_readmits_total", "Evicted agents readmitted on recovery."),
+		PresentAgents: r.Gauge("paraleon_monitor_present_agents", "Agents that reported at the last tick."),
+		Degraded:      r.Gauge("paraleon_monitor_degraded", "1 when the current FSD is aggregated from a partial agent set."),
+		ElephantShare: r.Gauge("paraleon_monitor_elephant_share", "Ternary-weighted elephant flow share of the current FSD."),
+		LastKL:        r.Gauge("paraleon_monitor_last_kl", "Trigger divergence computed at the most recent tick."),
+		KL:            r.Histogram("paraleon_monitor_kl", "Per-interval KL trigger divergence.", BucketsKL),
+		FSDFlows:      r.Histogram("paraleon_monitor_fsd_flows", "Per-interval distinct flows in the network-wide FSD.", BucketsFlows),
+		FSDBytes:      r.Histogram("paraleon_monitor_fsd_bytes", "Per-interval byte mass behind the network-wide FSD.", BucketsBytes),
+	}
+}
+
+// TunerMetrics covers the SA search and the dispatch path: iteration /
+// acceptance counts, session lifecycle, best utility, and
+// virtual-time-denominated dispatch latencies.
+type TunerMetrics struct {
+	Iterations *Counter
+	Accepts    *Counter
+	Rejects    *Counter
+	Sessions   *Counter // sessions run to completion
+	Aborts     *Counter
+	Dispatches *Counter
+	Rollbacks  *Counter
+
+	Active      *Gauge
+	Temperature *Gauge
+	BestUtility *Gauge
+
+	// DispatchLatencyMs measures trigger→dispatch in virtual
+	// milliseconds for every dispatch of a session; SettleMs measures
+	// trigger→session-completion.
+	DispatchLatencyMs *Histogram
+	SettleMs          *Histogram
+}
+
+// NewTunerMetrics resolves the tuner family set from r.
+func NewTunerMetrics(r *Registry) *TunerMetrics {
+	return &TunerMetrics{
+		Iterations:        r.Counter("paraleon_tuner_iterations_total", "SA iterations consumed."),
+		Accepts:           r.Counter("paraleon_tuner_accepts_total", "Metropolis acceptances."),
+		Rejects:           r.Counter("paraleon_tuner_rejects_total", "Metropolis rejections."),
+		Sessions:          r.Counter("paraleon_tuner_sessions_total", "Tuning sessions run to completion."),
+		Aborts:            r.Counter("paraleon_tuner_aborts_total", "Tuning sessions aborted."),
+		Dispatches:        r.Counter("paraleon_tuner_dispatches_total", "Parameter vectors dispatched to the fabric."),
+		Rollbacks:         r.Counter("paraleon_tuner_rollbacks_total", "Reversion dispatches to the last-known-good vector."),
+		Active:            r.Gauge("paraleon_tuner_active", "1 while a tuning session is in progress."),
+		Temperature:       r.Gauge("paraleon_tuner_temperature", "Current annealing temperature."),
+		BestUtility:       r.Gauge("paraleon_tuner_best_utility", "Best utility found in the current or last session (0-100 scale)."),
+		DispatchLatencyMs: r.Histogram("paraleon_tuner_dispatch_latency_ms", "Trigger-to-dispatch latency in virtual milliseconds.", BucketsLatencyMs),
+		SettleMs:          r.Histogram("paraleon_tuner_settle_ms", "Trigger-to-session-completion latency in virtual milliseconds.", BucketsLatencyMs),
+	}
+}
+
+// RPCMetrics covers the TCP control plane: frame and byte flow, report
+// and tick traffic, redial attempts and successful reconnects.
+type RPCMetrics struct {
+	FramesIn   *Counter
+	FramesOut  *Counter
+	BytesIn    *Counter
+	BytesOut   *Counter
+	Reports    *Counter
+	Ticks      *Counter
+	Retries    *Counter // redial attempts (including failed ones)
+	Reconnects *Counter // successful redials after a broken call
+}
+
+// NewRPCMetrics resolves the ctrlrpc family set from r.
+func NewRPCMetrics(r *Registry) *RPCMetrics {
+	return &RPCMetrics{
+		FramesIn:   r.Counter("paraleon_ctrlrpc_frames_in_total", "Control-plane frames received."),
+		FramesOut:  r.Counter("paraleon_ctrlrpc_frames_out_total", "Control-plane frames sent."),
+		BytesIn:    r.Counter("paraleon_ctrlrpc_bytes_in_total", "Control-plane bytes received."),
+		BytesOut:   r.Counter("paraleon_ctrlrpc_bytes_out_total", "Control-plane bytes sent."),
+		Reports:    r.Counter("paraleon_ctrlrpc_reports_total", "Agent interval reports processed."),
+		Ticks:      r.Counter("paraleon_ctrlrpc_ticks_total", "Controller interval ticks processed."),
+		Retries:    r.Counter("paraleon_ctrlrpc_retries_total", "Redial attempts by reconnecting clients."),
+		Reconnects: r.Counter("paraleon_ctrlrpc_reconnects_total", "Successful redials after broken calls."),
+	}
+}
+
+// ChaosMetrics covers fault injection and the system's response to it.
+type ChaosMetrics struct {
+	Faults    *Counter
+	Recovers  *Counter
+	Rollbacks *Counter
+}
+
+// NewChaosMetrics resolves the chaos family set from r.
+func NewChaosMetrics(r *Registry) *ChaosMetrics {
+	return &ChaosMetrics{
+		Faults:    r.Counter("paraleon_chaos_faults_total", "Injected or detected faults."),
+		Recovers:  r.Counter("paraleon_chaos_recovers_total", "Recoveries from faults."),
+		Rollbacks: r.Counter("paraleon_chaos_rollbacks_total", "Parameter rollbacks observed under chaos."),
+	}
+}
+
+// VirtualTime returns the virtual-clock gauge; control loops set it to
+// the engine's current time (nanoseconds) each tick so scrapers can
+// correlate wall-clock scrape times with virtual-time trace events.
+func VirtualTime(r *Registry) *Gauge {
+	return r.Gauge(VirtualTimeGauge, "Simulator virtual clock in nanoseconds at the last control-loop tick.")
+}

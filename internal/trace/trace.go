@@ -33,6 +33,12 @@ const (
 	KindFault    = "fault"
 	KindRecover  = "recover"
 	KindRollback = "rollback"
+	// KindSpanStart / KindSpanEnd bracket a control-loop span (e.g. one
+	// SA tuning session) in virtual time. Events produced inside the
+	// span carry its SpanID, linking a trigger through its search to the
+	// resulting dispatches.
+	KindSpanStart = "span_start"
+	KindSpanEnd   = "span_end"
 )
 
 // Event is one recorded occurrence. Unused fields are omitted from the
@@ -62,6 +68,13 @@ type Event struct {
 	Fault  string `json:"fault,omitempty"`
 	Target string `json:"target,omitempty"`
 
+	// Span names the span a span_start opens (e.g. "sa_session");
+	// SpanID identifies it. On non-span events a nonzero SpanID links
+	// the event into that span; Parent links nested spans.
+	Span   string `json:"span,omitempty"`
+	SpanID uint64 `json:"span_id,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+
 	Note string `json:"note,omitempty"`
 }
 
@@ -76,6 +89,10 @@ type Recorder struct {
 	// (subsequent writes are dropped).
 	Events int
 	Err    error
+
+	// spanSeq hands out span IDs; purely sequential, so a fixed event
+	// order yields a byte-identical trace.
+	spanSeq uint64
 }
 
 // NewRecorder builds a recorder stamping events with eng's clock.
@@ -132,6 +149,38 @@ func (r *Recorder) Rollback(p dcqcn.Params) {
 	r.emit(Event{Kind: KindRollback, Params: &p})
 }
 
+// SpanStart opens a named span (parent 0 for a root span) and returns
+// its ID. The span is measured in virtual time: its extent is the T
+// distance between the span_start and span_end events.
+func (r *Recorder) SpanStart(name string, parent uint64) uint64 {
+	r.spanSeq++
+	id := r.spanSeq
+	r.emit(Event{Kind: KindSpanStart, Span: name, SpanID: id, Parent: parent})
+	return id
+}
+
+// SpanEnd closes a span opened with SpanStart.
+func (r *Recorder) SpanEnd(id uint64) {
+	r.emit(Event{Kind: KindSpanEnd, SpanID: id})
+}
+
+// TriggerIn records a tuning trigger linked into a span.
+func (r *Recorder) TriggerIn(span uint64, fsd monitor.FSD) {
+	share := fsd.ElephantFlowShare
+	r.emit(Event{Kind: KindTrigger, SpanID: span, ElephantShare: &share})
+}
+
+// DispatchIn records a parameter dispatch linked into a span.
+func (r *Recorder) DispatchIn(span uint64, p dcqcn.Params) {
+	r.emit(Event{Kind: KindDispatch, SpanID: span, Params: &p})
+}
+
+// RollbackIn records a last-known-good reversion linked into a span
+// (span 0 when no session was active).
+func (r *Recorder) RollbackIn(span uint64, p dcqcn.Params) {
+	r.emit(Event{Kind: KindRollback, SpanID: span, Params: &p})
+}
+
 // Note records a free-form annotation.
 func (r *Recorder) Note(format string, args ...any) {
 	r.emit(Event{Kind: KindNote, Note: fmt.Sprintf(format, args...)})
@@ -170,6 +219,45 @@ func Read(rd io.Reader) ([]Event, error) {
 		}
 		out = append(out, e)
 	}
+}
+
+// Span is one reconstructed span: its extent in virtual time plus the
+// events linked into it.
+type Span struct {
+	ID     uint64
+	Name   string
+	Parent uint64
+	// StartT / EndT are the span's virtual-time extent; EndT is -1 for a
+	// span never closed (e.g. a session still running at trace end).
+	StartT, EndT int64
+	// Events are the non-span events carrying this span's ID, in order.
+	Events []Event
+}
+
+// Spans reconstructs spans from an event stream, in start order.
+func Spans(events []Event) []Span {
+	byID := map[uint64]*Span{}
+	var order []uint64
+	for _, e := range events {
+		switch e.Kind {
+		case KindSpanStart:
+			byID[e.SpanID] = &Span{ID: e.SpanID, Name: e.Span, Parent: e.Parent, StartT: e.T, EndT: -1}
+			order = append(order, e.SpanID)
+		case KindSpanEnd:
+			if s, ok := byID[e.SpanID]; ok {
+				s.EndT = e.T
+			}
+		default:
+			if s, ok := byID[e.SpanID]; ok && e.SpanID != 0 {
+				s.Events = append(s.Events, e)
+			}
+		}
+	}
+	out := make([]Span, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out
 }
 
 // Filter returns the events of one kind.
