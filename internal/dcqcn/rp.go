@@ -31,6 +31,9 @@ type RP struct {
 	cnpSinceAlpha     bool
 	increasedSinceCut bool
 
+	// timerFn and alphaFn are the persistent timer handlers, built once in
+	// NewRP so each re-arm schedules without allocating a closure.
+	timerFn, alphaFn eventsim.Handler
 	timerEv, alphaEv eventsim.EventID
 	running          bool
 
@@ -43,7 +46,7 @@ type RP struct {
 // from the current parameters. params must never return nil.
 func NewRP(eng *eventsim.Engine, params func() *Params, lineRateBps float64) *RP {
 	p := params()
-	return &RP{
+	rp := &RP{
 		eng:         eng,
 		params:      params,
 		lineRateBps: lineRateBps,
@@ -51,6 +54,25 @@ func NewRP(eng *eventsim.Engine, params func() *Params, lineRateBps float64) *RP
 		rt:          lineRateBps,
 		alpha:       p.InitialAlpha,
 	}
+	rp.timerFn = func() {
+		if !rp.running {
+			return
+		}
+		rp.tStage++
+		rp.increaseEvent()
+		rp.armIncreaseTimer()
+	}
+	rp.alphaFn = func() {
+		if !rp.running {
+			return
+		}
+		if !rp.cnpSinceAlpha {
+			rp.alpha *= 1 - rp.params().G
+		}
+		rp.cnpSinceAlpha = false
+		rp.armAlphaTimer()
+	}
+	return rp
 }
 
 // Rate reports the current sending rate in bps.
@@ -86,29 +108,11 @@ func (rp *RP) Stop() {
 }
 
 func (rp *RP) armIncreaseTimer() {
-	p := rp.params()
-	rp.timerEv = rp.eng.After(p.RPGTimeReset, func() {
-		if !rp.running {
-			return
-		}
-		rp.tStage++
-		rp.increaseEvent()
-		rp.armIncreaseTimer()
-	})
+	rp.timerEv = rp.eng.After(rp.params().RPGTimeReset, rp.timerFn)
 }
 
 func (rp *RP) armAlphaTimer() {
-	p := rp.params()
-	rp.alphaEv = rp.eng.After(p.AlphaUpdateInterval, func() {
-		if !rp.running {
-			return
-		}
-		if !rp.cnpSinceAlpha {
-			rp.alpha *= 1 - rp.params().G
-		}
-		rp.cnpSinceAlpha = false
-		rp.armAlphaTimer()
-	})
+	rp.alphaEv = rp.eng.After(rp.params().AlphaUpdateInterval, rp.alphaFn)
 }
 
 // OnCNP handles a congestion notification from the NP. The alpha estimate

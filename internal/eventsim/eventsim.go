@@ -6,10 +6,16 @@
 // The engine is deliberately single-threaded: determinism matters more than
 // parallelism for a congestion-control study, where a one-packet reordering
 // changes every downstream measurement.
+//
+// The scheduler is allocation-free in steady state: events live in a
+// slab whose slots are recycled through an intrusive free-list, and the
+// priority queue is an indexed 4-ary heap of slot numbers rather than a
+// container/heap of boxed pointers. Cancellation stays safe without
+// retaining pointers because every EventID carries the slot's generation
+// counter, which is bumped each time the slot fires or is cancelled.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -47,56 +53,49 @@ func (t Time) String() string { return t.Duration().String() }
 // event's scheduled virtual time.
 type Handler func()
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant: earlier-scheduled events fire first, which keeps
-// runs deterministic.
+// event is one slab slot: a scheduled callback plus the bookkeeping that
+// lets the slot be found in the heap and recycled. seq breaks ties between
+// events scheduled for the same instant: earlier-scheduled events fire
+// first, which keeps runs deterministic.
 type event struct {
-	at      Time
-	seq     uint64
-	fn      Handler
-	stopped bool
-	index   int
+	at  Time
+	seq uint64
+	fn  Handler
+
+	// gen is the slot's generation; it increments every time the slot is
+	// released (fire or cancel), so EventIDs issued for earlier occupants
+	// can never cancel the current one.
+	gen uint32
+	// heapIdx is the slot's position in the heap, or -1 while unqueued.
+	heapIdx int32
+	// nextFree links released slots into the engine's free-list.
+	nextFree int32
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
-
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// EventID identifies a scheduled event so it can be cancelled. It is a
+// value (slot number plus generation), not a pointer: holding one keeps
+// nothing alive, and a stale ID — the event fired, was cancelled, or the
+// slot was reused — safely no-ops in Cancel. The zero EventID is invalid
+// and cancels nothing.
+type EventID struct {
+	slot int32
+	gen  uint32
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	heap    eventHeap
+	now Time
+	seq uint64
+
+	// slots is the event slab; freeHead chains released slots (-1 = none).
+	slots    []event
+	freeHead int32
+	// heap is a 4-ary min-heap of slot numbers ordered by (at, seq). A
+	// 4-ary layout halves the tree depth of a binary heap and keeps the
+	// children of a node in one cache line of slot indices.
+	heap []int32
+
 	rng     *rand.Rand
 	stopped bool
 
@@ -107,7 +106,7 @@ type Engine struct {
 
 // NewEngine returns an engine whose random streams derive from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), freeHead: -1}
 }
 
 // Now reports the current virtual time.
@@ -128,10 +127,25 @@ func (e *Engine) Schedule(at Time, fn Handler) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	slot := e.freeHead
+	if slot >= 0 {
+		e.freeHead = e.slots[slot].nextFree
+	} else {
+		// Grow the slab. Generations start at 1 so the zero EventID never
+		// matches a live slot.
+		e.slots = append(e.slots, event{gen: 1})
+		slot = int32(len(e.slots) - 1)
+	}
+	ev := &e.slots[slot]
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.heap, ev)
-	return EventID{ev}
+	i := len(e.heap)
+	e.heap = append(e.heap, slot)
+	ev.heapIdx = int32(i)
+	e.siftUp(i)
+	return EventID{slot: slot, gen: ev.gen}
 }
 
 // After runs fn after delay d from the current virtual time.
@@ -143,16 +157,28 @@ func (e *Engine) After(d Time, fn Handler) EventID {
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired, or cancelling twice, is a no-op.
+// already fired, cancelling twice, or cancelling the zero EventID is a
+// no-op: the generation check rejects stale IDs even after slot reuse.
 func (e *Engine) Cancel(id EventID) {
-	if id.ev == nil || id.ev.stopped || id.ev.index < 0 {
-		if id.ev != nil {
-			id.ev.stopped = true
-		}
+	if id.gen == 0 || int(id.slot) >= len(e.slots) {
 		return
 	}
-	id.ev.stopped = true
-	heap.Remove(&e.heap, id.ev.index)
+	ev := &e.slots[id.slot]
+	if ev.gen != id.gen || ev.heapIdx < 0 {
+		return
+	}
+	e.removeAt(int(ev.heapIdx))
+	e.release(id.slot)
+}
+
+// release returns a slot to the free-list, dropping its handler so the
+// engine does not pin the closure (and whatever it captures) until reuse.
+func (e *Engine) release(slot int32) {
+	ev := &e.slots[slot]
+	ev.fn = nil
+	ev.gen++
+	ev.nextFree = e.freeHead
+	e.freeHead = slot
 }
 
 // Stop halts the run loop after the current event completes.
@@ -164,17 +190,19 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*event)
-		if ev.stopped {
-			continue
-		}
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	slot := e.popMin()
+	ev := &e.slots[slot]
+	e.now = ev.at
+	fn := ev.fn
+	// Release before invoking: the handler may reschedule into the same
+	// slot, and by then its own EventID must already be stale.
+	e.release(slot)
+	e.Processed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -189,12 +217,101 @@ func (e *Engine) Run() {
 // so the simulation can be resumed.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= deadline {
+	for !e.stopped && len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
 		if !e.Step() {
 			break
 		}
 	}
 	if e.now < deadline {
 		e.now = deadline
+	}
+}
+
+// less orders slots by (time, sequence): the unique deterministic total
+// order every heap layout must realize.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.slots[a], &e.slots[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// popMin removes and returns the root slot.
+func (e *Engine) popMin() int32 {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	moved := e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.heap[0] = moved
+		e.slots[moved].heapIdx = 0
+		e.siftDown(0)
+	}
+	e.slots[top].heapIdx = -1
+	return top
+}
+
+// removeAt deletes the heap entry at position i (indexed removal for
+// Cancel): the last element takes its place and sifts whichever way the
+// ordering demands.
+func (e *Engine) removeAt(i int) {
+	last := len(e.heap) - 1
+	slot := e.heap[i]
+	moved := e.heap[last]
+	e.heap = e.heap[:last]
+	if i < last {
+		e.heap[i] = moved
+		e.slots[moved].heapIdx = int32(i)
+		if !e.siftUp(i) {
+			e.siftDown(i)
+		}
+	}
+	e.slots[slot].heapIdx = -1
+}
+
+// siftUp restores the heap property from position i toward the root and
+// reports whether anything moved.
+func (e *Engine) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		e.slots[e.heap[i]].heapIdx = int32(i)
+		e.slots[e.heap[parent]].heapIdx = int32(parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// siftDown restores the heap property from position i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.heap[best], e.heap[i]) {
+			return
+		}
+		e.heap[i], e.heap[best] = e.heap[best], e.heap[i]
+		e.slots[e.heap[i]].heapIdx = int32(i)
+		e.slots[e.heap[best]].heapIdx = int32(best)
+		i = best
 	}
 }

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/eventsim"
+)
+
+// The golden traces under testdata/ were captured from the pre-pool build
+// (container/heap engine, per-packet allocation, per-row sketch hashing)
+// at seed 7, QuickScale, 40 ms horizon. Replaying the same experiments on
+// the pooled engine and comparing bytes proves the zero-allocation rewrite
+// preserved simulation behavior exactly — not just "still passes tests"
+// but bit-for-bit the same fault schedule, samples, and dispatches.
+//
+// Regenerate (only if an intentional semantic change lands) with:
+//
+//	go run ./cmd/paraleon-sim -exp chaos-linkflap -scale quick \
+//	   -chaos-seed 7 -chaos-trace internal/harness/testdata/chaos_linkflap_seed7_quick.golden.jsonl
+//
+// and likewise for chaos-agentcrash.
+func TestChaosTraceGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		run    func(traceTo *bytes.Buffer) error
+	}{
+		{
+			name:   "linkflap",
+			golden: "chaos_linkflap_seed7_quick.golden.jsonl",
+			run: func(buf *bytes.Buffer) error {
+				_, err := ChaosLinkFlap(QuickScale(), 40*eventsim.Millisecond, 7, buf)
+				return err
+			},
+		},
+		{
+			name:   "agentcrash",
+			golden: "chaos_agentcrash_seed7_quick.golden.jsonl",
+			run: func(buf *bytes.Buffer) error {
+				_, err := ChaosAgentCrash(QuickScale(), 40*eventsim.Millisecond, 7, buf)
+				return err
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tc.run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got := buf.Bytes()
+			if bytes.Equal(got, want) {
+				return
+			}
+			i := 0
+			for i < len(got) && i < len(want) && got[i] == want[i] {
+				i++
+			}
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			snip := func(b []byte) string {
+				hi := i + 80
+				if hi > len(b) {
+					hi = len(b)
+				}
+				if lo > len(b) {
+					return ""
+				}
+				return string(b[lo:hi])
+			}
+			t.Fatalf("trace diverges from pre-pool golden at byte %d (got %d bytes, want %d)\n got: …%s…\nwant: …%s…",
+				i, len(got), len(want), snip(got), snip(want))
+		})
+	}
+}

@@ -71,8 +71,11 @@ const (
 	CtrlFrameBytes = 64
 )
 
-// Packet is one frame in flight. Packets are allocated per segment and
-// passed by pointer; devices must not retain them after forwarding.
+// Packet is one frame in flight, created per segment and passed by
+// pointer; devices must not retain one after forwarding it. Packets are
+// recycled through a PacketPool when the terminating device has one, so a
+// sunk or dropped packet's memory may be reused by an unrelated later
+// packet.
 type Packet struct {
 	Kind   Kind
 	FlowID uint64
@@ -103,22 +106,89 @@ type Packet struct {
 	PauseClass int
 }
 
-// NewDataPacket builds a data segment of a flow.
-func NewDataPacket(flow uint64, src, dst topology.NodeID, seq int64, payload int, last bool) *Packet {
-	return &Packet{
-		Kind: KindData, FlowID: flow, Src: src, Dst: dst,
-		Seq: seq, PayloadBytes: payload, WireBytes: payload + HeaderBytes,
-		Class: ClassData, Last: last,
-	}
+// maxPooledPackets bounds a PacketPool's free-list so a transient burst
+// cannot pin an unbounded number of dead packets.
+const maxPooledPackets = 1 << 16
+
+// PacketPool is a LIFO free-list of packets. Devices that terminate a
+// packet's life — a host sinking it, a switch dropping it — return it with
+// Put, and every construction path (data segments, CNPs, probes, PFC
+// frames) draws from Get, so the per-packet forward path allocates nothing
+// in steady state.
+//
+// The pool is intentionally not safe for concurrent use: a simulation is
+// single-threaded per engine, and each sim.Network owns one pool, so
+// parallel experiment arms never share one. A nil *PacketPool is valid
+// everywhere and degrades to plain allocation (Get) and dropping (Put),
+// which keeps hand-wired test setups working unchanged.
+type PacketPool struct {
+	free []*Packet
+
+	// Recycled and Fresh count Get calls served from the free-list and by
+	// allocation; their ratio is the pool hit rate.
+	Recycled, Fresh int64
 }
 
-// NewCNP builds a congestion notification for flow, sent from the NP back
-// to the RP (src is the NP's host).
-func NewCNP(flow uint64, src, dst topology.NodeID) *Packet {
-	return &Packet{
-		Kind: KindCNP, FlowID: flow, Src: src, Dst: dst,
-		WireBytes: CtrlFrameBytes, Class: ClassCtrl,
+// NewPacketPool returns an empty pool.
+func NewPacketPool() *PacketPool { return &PacketPool{} }
+
+// Get returns a zeroed packet, recycling a dead one when available.
+func (p *PacketPool) Get() *Packet {
+	if p == nil || len(p.free) == 0 {
+		if p != nil {
+			p.Fresh++
+		}
+		return &Packet{}
 	}
+	n := len(p.free) - 1
+	pkt := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	p.Recycled++
+	return pkt
+}
+
+// Put recycles a packet whose life ended. The packet is zeroed here, so a
+// late use-after-Put reads zeroes rather than another packet's fields.
+// Callers must not retain pkt afterwards.
+func (p *PacketPool) Put(pkt *Packet) {
+	if p == nil || pkt == nil {
+		return
+	}
+	*pkt = Packet{}
+	if len(p.free) >= maxPooledPackets {
+		return
+	}
+	p.free = append(p.free, pkt)
+}
+
+// NewDataPacket builds a data segment of a flow from the pool.
+func (p *PacketPool) NewDataPacket(flow uint64, src, dst topology.NodeID, seq int64, payload int, last bool) *Packet {
+	pkt := p.Get()
+	pkt.Kind, pkt.FlowID, pkt.Src, pkt.Dst = KindData, flow, src, dst
+	pkt.Seq, pkt.PayloadBytes, pkt.WireBytes = seq, payload, payload+HeaderBytes
+	pkt.Class, pkt.Last = ClassData, last
+	return pkt
+}
+
+// NewCNP builds a congestion notification for flow from the pool, sent
+// from the NP back to the RP (src is the NP's host).
+func (p *PacketPool) NewCNP(flow uint64, src, dst topology.NodeID) *Packet {
+	pkt := p.Get()
+	pkt.Kind, pkt.FlowID, pkt.Src, pkt.Dst = KindCNP, flow, src, dst
+	pkt.WireBytes, pkt.Class = CtrlFrameBytes, ClassCtrl
+	return pkt
+}
+
+// NewDataPacket builds a data segment of a flow without a pool.
+func NewDataPacket(flow uint64, src, dst topology.NodeID, seq int64, payload int, last bool) *Packet {
+	return (*PacketPool)(nil).NewDataPacket(flow, src, dst, seq, payload, last)
+}
+
+// NewCNP builds a pool-less congestion notification for flow, sent from
+// the NP back to the RP (src is the NP's host).
+func NewCNP(flow uint64, src, dst topology.NodeID) *Packet {
+	return (*PacketPool)(nil).NewCNP(flow, src, dst)
 }
 
 // Device is anything that terminates a link: a switch or a host RNIC.

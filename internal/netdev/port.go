@@ -57,6 +57,16 @@ type PortStats struct {
 	LinkDowns int64
 }
 
+// deliverySlot holds one packet in flight on the wire (serialized, not yet
+// arrived). Each slot owns a persistent closure created when the slot is
+// first needed, so scheduling a delivery allocates nothing once the port's
+// in-flight high-water mark is reached.
+type deliverySlot struct {
+	pkt  *Packet
+	next int32 // free-list link
+	fn   eventsim.Handler
+}
+
 // EgressPort is one direction of a link: priority queues, a transmitter
 // that serializes at line rate, optional ECN marking, and PFC pause state.
 // Both switches and host RNICs transmit through EgressPorts.
@@ -72,6 +82,24 @@ type EgressPort struct {
 	queues [NumClasses]fifo
 	busy   bool
 	paused [NumClasses]bool
+
+	// pool recycles packets this port originates (PFC frames). May be nil.
+	pool *PacketPool
+
+	// Transmitter state for the persistent serialization-done handler:
+	// exactly one packet serializes at a time, so its queue entry, class,
+	// and the delivery delay captured at transmit start live in fields
+	// instead of a per-packet closure.
+	txDoneFn   eventsim.Handler
+	inflight   queueEntry
+	inflightCl int
+	inflightDl eventsim.Time
+
+	// deliveries is the slab of packets crossing the wire; delivFree heads
+	// its free-list (-1 = none). Several can overlap: serialization of the
+	// next packet starts while earlier ones are still propagating.
+	deliveries []deliverySlot
+	delivFree  int32
 
 	// Link fault state (internal/chaos). A down link holds its queues —
 	// the sim has no link-layer retransmit, so dropping in-queue lossless
@@ -111,8 +139,15 @@ func NewEgressPort(eng *eventsim.Engine, rateBps float64, prop eventsim.Time, rn
 	if rateBps <= 0 {
 		panic("netdev: non-positive port rate")
 	}
-	return &EgressPort{eng: eng, rateBps: rateBps, prop: prop, rng: rng, up: true, rateFactor: 1}
+	p := &EgressPort{eng: eng, rateBps: rateBps, prop: prop, rng: rng, up: true, rateFactor: 1, delivFree: -1}
+	p.txDoneFn = p.txDone
+	return p
 }
+
+// SetPacketPool installs the free-list this port recycles its locally
+// generated control frames through. Devices install their shared pool on
+// every port they own.
+func (p *EgressPort) SetPacketPool(pool *PacketPool) { p.pool = pool }
 
 // LinkUp reports whether the link out of this port is up.
 func (p *EgressPort) LinkUp() bool { return p.up }
@@ -244,15 +279,11 @@ func (p *EgressPort) SendPFC(pause bool, class int) {
 	if p.peer == nil {
 		panic("netdev: SendPFC before SetPeer")
 	}
-	frame := &Packet{
-		Kind: KindPFC, WireBytes: CtrlFrameBytes,
-		Class: ClassCtrl, Pause: pause, PauseClass: class,
-	}
+	frame := p.pool.Get()
+	frame.Kind, frame.WireBytes = KindPFC, CtrlFrameBytes
+	frame.Class, frame.Pause, frame.PauseClass = ClassCtrl, pause, class
 	p.Stats.PFCSent++
-	peer, port := p.peer, p.peerPort
-	p.eng.After(p.serialization(CtrlFrameBytes)+p.prop, func() {
-		peer.Receive(frame, port)
-	})
+	p.scheduleDelivery(frame, p.serialization(CtrlFrameBytes)+p.prop)
 }
 
 // kick starts the transmitter if idle and eligible traffic is queued.
@@ -299,22 +330,59 @@ func (p *EgressPort) transmit(e queueEntry, class int) {
 		}
 	}
 	p.busy = true
-	ser := p.serialization(pkt.WireBytes)
-	peer, port := p.peer, p.peerPort
-	delivery := p.prop + p.extraDelay
-	p.eng.After(ser, func() {
-		p.Stats.TxPackets++
-		p.Stats.TxBytes += int64(pkt.WireBytes)
-		if class == ClassData {
-			p.Stats.TxDataBytes += int64(pkt.WireBytes)
-		}
-		p.eng.After(delivery, func() { peer.Receive(pkt, port) })
-		// Clear busy before the departure hook: hosts re-enter their flow
-		// scheduler from it and must see the port as free.
-		p.busy = false
-		if p.onDeparted != nil {
-			p.onDeparted(e.pkt, e.inPort)
-		}
-		p.kick()
-	})
+	p.inflight = e
+	p.inflightCl = class
+	// The delivery delay is captured now, not at serialization end, so a
+	// degradation fault applied mid-flight leaves this packet's arrival
+	// where the pre-change semantics put it.
+	p.inflightDl = p.prop + p.extraDelay
+	p.eng.After(p.serialization(pkt.WireBytes), p.txDoneFn)
+}
+
+// txDone is the persistent serialization-complete handler: account the
+// departure, hand the packet to the wire, and restart the transmitter.
+func (p *EgressPort) txDone() {
+	e, class := p.inflight, p.inflightCl
+	p.inflight = queueEntry{}
+	pkt := e.pkt
+	p.Stats.TxPackets++
+	p.Stats.TxBytes += int64(pkt.WireBytes)
+	if class == ClassData {
+		p.Stats.TxDataBytes += int64(pkt.WireBytes)
+	}
+	p.scheduleDelivery(pkt, p.inflightDl)
+	// Clear busy before the departure hook: hosts re-enter their flow
+	// scheduler from it and must see the port as free.
+	p.busy = false
+	if p.onDeparted != nil {
+		p.onDeparted(e.pkt, e.inPort)
+	}
+	p.kick()
+}
+
+// scheduleDelivery puts pkt on the wire: after delay it arrives at the
+// peer. Slots are recycled, and each slot's closure is built exactly once,
+// so the steady-state cost is one event and zero allocations.
+func (p *EgressPort) scheduleDelivery(pkt *Packet, delay eventsim.Time) {
+	slot := p.delivFree
+	if slot >= 0 {
+		p.delivFree = p.deliveries[slot].next
+	} else {
+		slot = int32(len(p.deliveries))
+		p.deliveries = append(p.deliveries, deliverySlot{})
+		i := slot
+		p.deliveries[i].fn = func() { p.deliver(i) }
+	}
+	p.deliveries[slot].pkt = pkt
+	p.eng.After(delay, p.deliveries[slot].fn)
+}
+
+// deliver releases delivery slot i and hands its packet to the peer.
+func (p *EgressPort) deliver(i int32) {
+	s := &p.deliveries[i]
+	pkt := s.pkt
+	s.pkt = nil
+	s.next = p.delivFree
+	p.delivFree = i
+	p.peer.Receive(pkt, p.peerPort)
 }

@@ -56,6 +56,10 @@ type Switch struct {
 	pauseSent    []bool
 	totalUsed    int64
 
+	// pool recycles packets this switch terminates (drops, sunk PFC
+	// frames) and supplies its ports' control frames. May be nil.
+	pool *PacketPool
+
 	rng *rand.Rand
 
 	// Tap, if set, observes every admitted class-0 data packet at
@@ -88,6 +92,15 @@ func NewSwitch(eng *eventsim.Engine, topo *topology.Topology, node topology.Node
 	return s
 }
 
+// SetPacketPool installs the free-list dead packets return to; it also
+// covers every egress port of the switch.
+func (s *Switch) SetPacketPool(pool *PacketPool) {
+	s.pool = pool
+	for _, p := range s.ports {
+		p.SetPacketPool(pool)
+	}
+}
+
 // NodeID reports which topology node this switch realizes.
 func (s *Switch) NodeID() topology.NodeID { return s.node }
 
@@ -110,6 +123,7 @@ func (s *Switch) Receive(pkt *Packet, inPort int) {
 	if pkt.Kind == KindPFC {
 		s.Stats.PFCReceived++
 		s.ports[inPort].SetPaused(pkt.PauseClass, pkt.Pause)
+		s.pool.Put(pkt)
 		return
 	}
 	s.Stats.RxPackets++
@@ -120,6 +134,7 @@ func (s *Switch) Receive(pkt *Packet, inPort int) {
 			// Lossless fabrics should pause before this point; a drop
 			// here means PFC headroom was exhausted.
 			s.Stats.Drops++
+			s.pool.Put(pkt)
 			return
 		}
 		s.totalUsed += wire

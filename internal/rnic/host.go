@@ -63,15 +63,23 @@ type Host struct {
 	port *netdev.EgressPort
 	mtu  int
 
+	// pool recycles packets this RNIC sinks and supplies the ones it
+	// originates. May be nil (tests wiring hosts by hand).
+	pool *netdev.PacketPool
+
 	sendFlows []*SendFlow // active senders, deterministic order
 	byID      map[uint64]*SendFlow
 	rx        map[uint64]*recvFlow
 
+	// timerFn and probeFn are the persistent pacing-wakeup and probe-tick
+	// handlers: built once so re-arming a timer allocates nothing.
+	timerFn    eventsim.Handler
 	timerEv    eventsim.EventID
 	timerArmed bool
 
 	onComplete FlowCompleteFunc
 
+	probeFn      eventsim.Handler
 	probeEv      eventsim.EventID
 	probeArmed   bool
 	probeEvery   eventsim.Time
@@ -118,7 +126,22 @@ func NewHost(eng *eventsim.Engine, topo *topology.Topology, node topology.NodeID
 	h.port = netdev.NewEgressPort(eng, l.RateBps, l.PropDelay, eng.Rand())
 	h.port.SetOnDeparted(func(pkt *netdev.Packet, inPort int) { h.schedule() })
 	h.port.SetOnResume(func(class int) { h.schedule() })
+	h.timerFn = func() {
+		h.timerArmed = false
+		h.schedule()
+	}
+	h.probeFn = func() {
+		h.sendProbes()
+		h.armProbe()
+	}
 	return h
+}
+
+// SetPacketPool installs the free-list this RNIC draws packets from and
+// returns sunk packets to; it also covers the uplink port's PFC frames.
+func (h *Host) SetPacketPool(pool *netdev.PacketPool) {
+	h.pool = pool
+	h.port.SetPacketPool(pool)
 }
 
 // NodeID reports the topology node this RNIC serves.
@@ -192,10 +215,7 @@ func (h *Host) schedule() {
 		h.eng.Cancel(h.timerEv)
 	}
 	h.timerArmed = true
-	h.timerEv = h.eng.Schedule(best.nextSend, func() {
-		h.timerArmed = false
-		h.schedule()
-	})
+	h.timerEv = h.eng.Schedule(best.nextSend, h.timerFn)
 }
 
 func (h *Host) sendPacket(f *SendFlow) {
@@ -204,7 +224,7 @@ func (h *Host) sendPacket(f *SendFlow) {
 		payload = int(remaining)
 	}
 	last := f.Sent+int64(payload) == f.Size
-	pkt := netdev.NewDataPacket(f.ID, h.node, f.Dst, f.Sent, payload, last)
+	pkt := h.pool.NewDataPacket(f.ID, h.node, f.Dst, f.Sent, payload, last)
 	f.Sent += int64(payload)
 	wire := int64(pkt.WireBytes)
 	f.rp.OnBytesSent(wire)
@@ -232,7 +252,8 @@ func (h *Host) finishSendFlow(f *SendFlow) {
 	}
 }
 
-// Receive implements netdev.Device.
+// Receive implements netdev.Device. Every packet terminates here, so each
+// branch returns the packet to the pool once its fields have been read.
 func (h *Host) Receive(pkt *netdev.Packet, inPort int) {
 	switch pkt.Kind {
 	case netdev.KindPFC:
@@ -252,7 +273,7 @@ func (h *Host) Receive(pkt *netdev.Packet, inPort int) {
 		}
 		if pkt.ECNMarked && rf.np.OnECNMarked(h.eng.Now()) {
 			h.Stats.CNPsSent++
-			h.port.Enqueue(netdev.NewCNP(pkt.FlowID, h.node, pkt.Src), -1)
+			h.port.Enqueue(h.pool.NewCNP(pkt.FlowID, h.node, pkt.Src), -1)
 		}
 		if rf.expected >= 0 && rf.got >= rf.expected {
 			h.Stats.FlowsCompleted++
@@ -269,18 +290,17 @@ func (h *Host) Receive(pkt *netdev.Packet, inPort int) {
 		}
 
 	case netdev.KindProbe:
-		reply := &netdev.Packet{
-			Kind: netdev.KindProbeReply, Class: netdev.ClassCtrl,
-			WireBytes: netdev.CtrlFrameBytes,
-			FlowID:    pkt.FlowID, Src: h.node, Dst: pkt.Src,
-			SentAt: pkt.SentAt,
-		}
+		reply := h.pool.Get()
+		reply.Kind, reply.Class = netdev.KindProbeReply, netdev.ClassCtrl
+		reply.WireBytes = netdev.CtrlFrameBytes
+		reply.FlowID, reply.Src, reply.Dst = pkt.FlowID, h.node, pkt.Src
+		reply.SentAt = pkt.SentAt
 		h.port.Enqueue(reply, -1)
 
 	case netdev.KindProbeReply:
 		rtt := h.eng.Now() - pkt.SentAt
 		if rtt <= 0 {
-			return
+			break
 		}
 		base := 2 * h.topo.BasePathDelay(h.node, pkt.Src)
 		norm := float64(base) / float64(rtt)
@@ -291,6 +311,7 @@ func (h *Host) Receive(pkt *netdev.Packet, inPort int) {
 		h.rttNormCount++
 		h.Stats.RTTSamples++
 	}
+	h.pool.Put(pkt)
 }
 
 // StartProbing arms periodic RTT probes toward the destinations of the
@@ -315,10 +336,7 @@ func (h *Host) StopProbing() {
 
 func (h *Host) armProbe() {
 	h.probeArmed = true
-	h.probeEv = h.eng.After(h.probeEvery, func() {
-		h.sendProbes()
-		h.armProbe()
-	})
+	h.probeEv = h.eng.After(h.probeEvery, h.probeFn)
 }
 
 func (h *Host) sendProbes() {
@@ -328,12 +346,11 @@ func (h *Host) sendProbes() {
 			continue
 		}
 		seen[f.Dst] = true
-		probe := &netdev.Packet{
-			Kind: netdev.KindProbe, Class: netdev.ClassData,
-			WireBytes: netdev.CtrlFrameBytes,
-			FlowID:    f.ID, Src: h.node, Dst: f.Dst,
-			SentAt: h.eng.Now(),
-		}
+		probe := h.pool.Get()
+		probe.Kind, probe.Class = netdev.KindProbe, netdev.ClassData
+		probe.WireBytes = netdev.CtrlFrameBytes
+		probe.FlowID, probe.Src, probe.Dst = f.ID, h.node, f.Dst
+		probe.SentAt = h.eng.Now()
 		h.Stats.ProbesSent++
 		h.port.Enqueue(probe, -1)
 	}

@@ -66,6 +66,12 @@ type Network struct {
 	Hosts    []*rnic.Host // indexed in topology host order
 	Switches []*netdev.Switch
 
+	// pool is the network-wide packet free-list: every host and switch
+	// draws from and recycles into it. Safe because the engine is
+	// single-threaded; parallel experiment arms each own a Network and
+	// therefore a pool.
+	pool *netdev.PacketPool
+
 	hostByNode   map[topology.NodeID]*rnic.Host
 	switchByNode map[topology.NodeID]*netdev.Switch
 
@@ -113,6 +119,7 @@ func New(cfg Config) (*Network, error) {
 	eng := eventsim.NewEngine(cfg.Seed)
 	n := &Network{
 		Eng: eng, Topo: topo, cfg: cfg,
+		pool:         netdev.NewPacketPool(),
 		hostByNode:   map[topology.NodeID]*rnic.Host{},
 		switchByNode: map[topology.NodeID]*netdev.Switch{},
 		switchParams: map[topology.NodeID]*dcqcn.Params{},
@@ -127,6 +134,7 @@ func New(cfg Config) (*Network, error) {
 		spp := &sp
 		n.switchParams[sn] = spp
 		sw := netdev.NewSwitch(eng, topo, sn, cfg.Switch, func() *dcqcn.Params { return spp })
+		sw.SetPacketPool(n.pool)
 		n.Switches = append(n.Switches, sw)
 		n.switchByNode[sn] = sw
 	}
@@ -141,6 +149,7 @@ func New(cfg Config) (*Network, error) {
 		if cfg.MTU > 0 {
 			h.SetMTU(cfg.MTU)
 		}
+		h.SetPacketPool(n.pool)
 		n.Hosts = append(n.Hosts, h)
 		n.hostByNode[hn] = h
 	}
@@ -362,6 +371,10 @@ func (n *Network) IdealFCT(src, dst topology.NodeID, size int64) eventsim.Time {
 	ser := eventsim.Time(float64(wire*8) / n.cfg.Clos.HostLinkBps * 1e9)
 	return ser + n.Topo.BasePathDelay(src, dst)
 }
+
+// PacketPool exposes the network-wide packet free-list (pool hit-rate
+// accounting in overhead reports and tests).
+func (n *Network) PacketPool() *netdev.PacketPool { return n.pool }
 
 // HostLinkBps reports the configured host link rate.
 func (n *Network) HostLinkBps() float64 { return n.cfg.Clos.HostLinkBps }

@@ -1,0 +1,57 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/eventsim"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestSteadyStateZeroAlloc drives a full network — cross-ToR incast with
+// DCQCN reacting, sketch agents tapping every ToR, telemetry counting
+// intervals — to a congested steady state, then requires that stepping the
+// simulation allocates nothing. This is the end-to-end form of the
+// per-component AllocsPerRun tests: it catches any path (CNP generation,
+// PFC frames, probe replies, timer re-arms, sketch inserts) that still
+// allocates per event.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	n, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tm := telemetry.NewSketchMetrics(reg)
+	for _, sw := range n.Switches {
+		a := monitor.NewSwitchAgent(monitor.ParaleonAgentConfig(), 42)
+		a.TM = tm
+		a.Attach(sw)
+	}
+	// Cross-ToR incast: three senders on ToR 0 into one receiver on ToR 1,
+	// with effectively infinite flows so no completions (and their record
+	// appends) happen during the measured window.
+	hosts := n.Topo.Hosts()
+	for i := 0; i < 3; i++ {
+		n.StartFlow(hosts[i], hosts[4], 1<<40)
+	}
+	// Warm up past slow start into the congested steady state: slabs,
+	// queues, pool, and delivery slots all reach their high-water marks.
+	n.Run(2 * eventsim.Millisecond)
+	if n.ActiveFlows() != 3 {
+		t.Fatalf("ActiveFlows=%d, want 3 (flows must outlive the test)", n.ActiveFlows())
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 5000; i++ {
+			if !n.Eng.Step() {
+				t.Fatal("engine drained during steady-state window")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("simulation allocates %.1f per 5000-event batch in steady state, want 0", allocs)
+	}
+	if n.PacketPool().Recycled == 0 {
+		t.Fatal("packet pool never recycled")
+	}
+}

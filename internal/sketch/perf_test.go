@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"testing"
+)
+
+// TestInsertZeroAlloc pins the per-packet cost of the data-plane hot path:
+// Insert must not allocate, including the Ostracism eviction branch that
+// flushes residents to the Light Part.
+func TestInsertZeroAlloc(t *testing.T) {
+	s := New(DefaultConfig(), 42)
+	// Pre-load enough distinct flows that inserts hit every branch:
+	// resident credit, challenger vote−, and evictions.
+	for f := uint64(0); f < 4096; f++ {
+		s.Insert(f, int64(f%1500+64))
+	}
+	var f uint64
+	allocs := testing.AllocsPerRun(5000, func() {
+		s.Insert(f, 1000)
+		f++
+	})
+	if allocs != 0 {
+		t.Fatalf("Insert allocates %.1f per call, want 0", allocs)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("workload never exercised the eviction branch")
+	}
+}
+
+// TestHeavyFlowsReusesScratch pins the scratch-buffer contract: after the
+// first call, per-interval reads allocate nothing.
+func TestHeavyFlowsReusesScratch(t *testing.T) {
+	s := New(DefaultConfig(), 42)
+	for f := uint64(0); f < 2048; f++ {
+		s.Insert(f, int64(f+1)*100)
+	}
+	s.HeavyFlows() // first call sizes the scratch buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		s.HeavyFlows()
+	})
+	if allocs != 0 {
+		t.Fatalf("HeavyFlows allocates %.1f per call after warmup, want 0", allocs)
+	}
+}
+
+// TestLightHashesDistinctRows guards the double-hashing scheme: for
+// power-of-two widths the stride h2 is odd, so the per-row columns of one
+// flow are all distinct — the property the count-min error bound needs.
+func TestLightHashesDistinctRows(t *testing.T) {
+	s := New(DefaultConfig(), 7)
+	for f := uint64(0); f < 1000; f++ {
+		_, h2 := s.lightHashes(f)
+		if h2%2 == 0 {
+			t.Fatalf("flow %d: stride %d is even", f, h2)
+		}
+		seen := map[int]bool{}
+		for r := 0; r < s.cfg.LightRows; r++ {
+			col := s.lightIndex(r, f) - r*s.cfg.LightWidth
+			if col < 0 || col >= s.cfg.LightWidth {
+				t.Fatalf("flow %d row %d: column %d out of range", f, r, col)
+			}
+			if seen[col] {
+				t.Fatalf("flow %d: rows collide on column %d", f, col)
+			}
+			seen[col] = true
+		}
+	}
+}
+
+// BenchmarkSketchInsert measures the per-packet Insert cost over a mixed
+// flow population (residents, challengers, evictions).
+func BenchmarkSketchInsert(b *testing.B) {
+	s := New(DefaultConfig(), 42)
+	for f := uint64(0); f < 4096; f++ {
+		s.Insert(f, int64(f%1500+64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint64(i)&8191, 1000)
+	}
+}

@@ -11,7 +11,7 @@
 package sketch
 
 import (
-	"sort"
+	"slices"
 )
 
 // Config sizes a sketch instance.
@@ -55,6 +55,10 @@ type Sketch struct {
 	light []int64 // LightRows × LightWidth
 	seeds []uint64
 
+	// scratch backs HeavyFlows so the per-interval agent read reuses one
+	// buffer instead of allocating each call.
+	scratch []FlowSize
+
 	// TotalBytes counts every inserted byte (ground total for shares).
 	TotalBytes int64
 	// Inserts counts Insert calls (≈ packets observed).
@@ -75,7 +79,7 @@ func New(cfg Config, seed uint64) *Sketch {
 		cfg:   cfg,
 		heavy: make([]bucket, cfg.HeavyBuckets),
 		light: make([]int64, cfg.LightRows*cfg.LightWidth),
-		seeds: make([]uint64, cfg.LightRows+1),
+		seeds: make([]uint64, 2),
 	}
 	for i := range s.seeds {
 		seed = mix(seed + 0x9e3779b97f4a7c15)
@@ -94,8 +98,18 @@ func (s *Sketch) heavyIndex(flow uint64) int {
 	return int(mix(flow^s.seeds[0]) % uint64(len(s.heavy)))
 }
 
+// lightHashes derives every Light Part row's column from one base mix()
+// via double hashing: row r probes column (h1 + r·h2) mod width. One
+// avalanche per Insert instead of LightRows of them; h2 is forced odd so
+// the probe stride never degenerates for power-of-two widths.
+func (s *Sketch) lightHashes(flow uint64) (h1, h2 uint64) {
+	base := mix(flow ^ s.seeds[1])
+	return base, (base >> 32) | 1
+}
+
 func (s *Sketch) lightIndex(row int, flow uint64) int {
-	return row*s.cfg.LightWidth + int(mix(flow^s.seeds[row+1])%uint64(s.cfg.LightWidth))
+	h1, h2 := s.lightHashes(flow)
+	return row*s.cfg.LightWidth + int((h1+uint64(row)*h2)%uint64(s.cfg.LightWidth))
 }
 
 // Insert credits bytes to flow.
@@ -127,15 +141,19 @@ func (s *Sketch) Insert(flow uint64, bytes int64) {
 }
 
 func (s *Sketch) lightAdd(flow uint64, bytes int64) {
+	h1, h2 := s.lightHashes(flow)
+	width := uint64(s.cfg.LightWidth)
 	for r := 0; r < s.cfg.LightRows; r++ {
-		s.light[s.lightIndex(r, flow)] += bytes
+		s.light[r*s.cfg.LightWidth+int((h1+uint64(r)*h2)%width)] += bytes
 	}
 }
 
 func (s *Sketch) lightEstimate(flow uint64) int64 {
+	h1, h2 := s.lightHashes(flow)
+	width := uint64(s.cfg.LightWidth)
 	var min int64 = -1
 	for r := 0; r < s.cfg.LightRows; r++ {
-		v := s.light[s.lightIndex(r, flow)]
+		v := s.light[r*s.cfg.LightWidth+int((h1+uint64(r)*h2)%width)]
 		if min < 0 || v < min {
 			min = v
 		}
@@ -162,9 +180,11 @@ func (s *Sketch) Estimate(flow uint64) int64 {
 
 // HeavyFlows lists the Heavy Part residents with their full estimates,
 // largest first. This is what the switch control plane reads every monitor
-// interval.
+// interval. The returned slice is backed by a scratch buffer the sketch
+// reuses: it stays valid only until the next HeavyFlows call, so callers
+// that need the data across reads must copy it.
 func (s *Sketch) HeavyFlows() []FlowSize {
-	out := make([]FlowSize, 0, len(s.heavy))
+	out := s.scratch[:0]
 	for i := range s.heavy {
 		b := &s.heavy[i]
 		if !b.used {
@@ -176,12 +196,22 @@ func (s *Sketch) HeavyFlows() []FlowSize {
 		}
 		out = append(out, FlowSize{Flow: b.flow, Bytes: size})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bytes != out[j].Bytes {
-			return out[i].Bytes > out[j].Bytes
+	slices.SortFunc(out, func(a, b FlowSize) int {
+		switch {
+		case a.Bytes != b.Bytes:
+			if a.Bytes > b.Bytes {
+				return -1
+			}
+			return 1
+		case a.Flow < b.Flow:
+			return -1
+		case a.Flow > b.Flow:
+			return 1
+		default:
+			return 0
 		}
-		return out[i].Flow < out[j].Flow
 	})
+	s.scratch = out
 	return out
 }
 

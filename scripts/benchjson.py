@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output to JSON and enforce the perf gate.
+
+Usage: benchjson.py BENCH_OUTPUT.txt BENCH.json
+
+Parses every benchmark result line into {name, iterations, metrics{unit:
+value}} and writes the collection as JSON. Exits non-zero when:
+
+  * no benchmark lines were found (the bench run silently did nothing), or
+  * any benchmark in ZERO_ALLOC reports a non-zero allocs/op — these pin
+    the zero-allocation hot path (pooled event engine, packet free-lists,
+    sketch fast hashing) and a regression here is a build breaker.
+"""
+
+import json
+import re
+import sys
+
+# Benchmarks whose steady state must not allocate. Substring match against
+# the benchmark name (which may carry a -<GOMAXPROCS> suffix).
+ZERO_ALLOC = [
+    "BenchmarkSchedule/",      # never emitted; placeholder for subbenches
+    "BenchmarkSchedule-",
+    "BenchmarkSchedule ",
+    "BenchmarkSketchInsert",
+    "BenchmarkPortForward",
+]
+
+LINE = re.compile(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$")
+METRIC = re.compile(r"([-+0-9.eE]+)\s+(\S+)")
+
+
+def parse(path):
+    results = []
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+            metrics = {}
+            for mm in METRIC.finditer(rest):
+                try:
+                    metrics[mm.group(2)] = float(mm.group(1))
+                except ValueError:
+                    continue
+            results.append({"name": name, "iterations": iters, "metrics": metrics})
+    return results
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    src, dst = sys.argv[1], sys.argv[2]
+    results = parse(src)
+    if not results:
+        sys.exit("benchjson: no benchmark result lines in %s" % src)
+
+    failures = []
+    for r in results:
+        padded = r["name"] + " "
+        gated = any(z in padded for z in ZERO_ALLOC)
+        allocs = r["metrics"].get("allocs/op")
+        if gated and allocs is not None and allocs != 0:
+            failures.append("%s: %g allocs/op, want 0" % (r["name"], allocs))
+
+    with open(dst, "w") as f:
+        json.dump({"benchmarks": results}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("benchjson: wrote %d results to %s" % (len(results), dst))
+
+    if failures:
+        sys.exit("perf gate failed:\n  " + "\n  ".join(failures))
+
+
+if __name__ == "__main__":
+    main()
