@@ -10,8 +10,10 @@ package paraleon
 // EXPERIMENTS.md records the paper-vs-measured comparison for each.
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"runtime"
 	"strings"
 	"testing"
@@ -435,6 +437,65 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(events), "allocs/event")
+}
+
+// BenchmarkShardedThroughput measures the multi-core win from sharded
+// execution: the same pre-scheduled workload on a 16-pod fabric, run on a
+// single engine shard and then spread across engine shards pinned by the
+// determinism contract (identical results at every shard count — see
+// internal/sim/sharded_test.go). Traffic is mostly pod-local so shards
+// spend their windows working rather than waiting at the handoff barrier;
+// the cross-pod fraction keeps every leaf link busy. events/sec is the
+// headline: the sharded/1-shard ratio is the speedup, recorded per PR in
+// BENCH_pr6.json.
+func BenchmarkShardedThroughput(b *testing.B) {
+	shardCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n >= 8 {
+		shardCounts = append(shardCounts, 8)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig()
+				cfg.Clos = topology.ClosConfig{
+					NumToR: 16, NumLeaf: 4, HostsPerToR: 8,
+					HostLinkBps: 10e9, FabricLinkBps: 40e9,
+					PropDelay: 2 * eventsim.Microsecond,
+				}
+				cfg.Shards = shards
+				n, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hosts := n.Topo.Hosts()
+				per := 8 // hosts per pod
+				rng := rand.New(rand.NewSource(11))
+				for h, src := range hosts {
+					pod := h / per
+					for f := 0; f < 4; f++ {
+						// 3 of 4 flows stay inside the pod; the rest cross it.
+						dst := pod*per + rng.Intn(per)
+						if f == 3 {
+							dst = rng.Intn(len(hosts))
+						}
+						for hosts[dst] == src {
+							dst = (dst + 1) % len(hosts)
+						}
+						at := eventsim.Time(rng.Int63n(int64(eventsim.Millisecond)))
+						n.StartFlowAt(at, src, hosts[dst], 512<<10)
+					}
+				}
+				n.RunUntilIdle(eventsim.Second)
+				if n.ActiveFlows() != 0 {
+					b.Fatalf("shards=%d: flows never drained", shards)
+				}
+				events += n.EventsProcessed()
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
 }
 
 // --- Extensions beyond the paper's evaluation ---

@@ -258,6 +258,7 @@ func main() {
 	csv := flag.String("csv", "", "directory for CSV series output (timeline/CDF experiments)")
 	workers := flag.Int("workers", 0, "experiment arms run in parallel (0 = all CPUs, 1 = sequential)")
 	progress := flag.Bool("progress", false, "print per-arm completion progress to stderr")
+	shards := flag.Int("shards", 0, "run the fabric sharded across this many engines (0 = single-engine; clamped to the ToR count)")
 	seed := flag.Int64("chaos-seed", 1, "fault scenario seed for chaos-* experiments")
 	ctrace := flag.String("chaos-trace", "", "file for the chaos experiments' JSONL event trace")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/status and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
@@ -334,6 +335,7 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Workers = *workers
+	scale.Net.Shards = *shards
 	if *progress {
 		scale.Progress = func(st harness.ArmStatus) {
 			status := "ok"

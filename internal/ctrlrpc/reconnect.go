@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dcqcn"
@@ -75,12 +76,38 @@ func DialReconnectingWith(addr string, maxRetries int, base, max time.Duration, 
 }
 
 // SeedBackoff fixes the jitter RNG, making the backoff sequence
-// reproducible. Unseeded clients share jitter derived from the address
-// so distinct agents spread out by default.
+// reproducible. Unseeded clients get a per-client stream split off the
+// address hash so distinct agents spread out by default.
 func (r *ReconnClient) SeedBackoff(seed int64) {
 	r.rngMu.Lock()
 	r.rng = rand.New(rand.NewSource(seed))
 	r.rngMu.Unlock()
+}
+
+// reconnSeq distinguishes unseeded clients dialing the same address. The
+// address hash alone would hand every agent of one controller the same
+// jitter stream — their redials would land in lockstep, resurrecting the
+// thundering herd the jitter exists to break.
+var reconnSeq atomic.Uint64
+
+// splitmix64 is the SplitMix64 finalizer: one atomic counter in, well-
+// distributed seeds out, so consecutive clients don't start their backoff
+// streams near each other.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fallbackSeed derives the jitter seed for a client that never called
+// SeedBackoff: the address hash mixed with a process-wide counter.
+func fallbackSeed(addr string) int64 {
+	var h uint64
+	for _, b := range []byte(addr) {
+		h = h*131 + uint64(b)
+	}
+	return int64(splitmix64(h + reconnSeq.Add(1)))
 }
 
 // backoffDelay returns the pause before dial attempt k (k ≥ 1):
@@ -103,11 +130,7 @@ func (r *ReconnClient) backoffDelay(k int) time.Duration {
 	}
 	r.rngMu.Lock()
 	if r.rng == nil {
-		var h int64
-		for _, b := range []byte(r.addr) {
-			h = h*131 + int64(b)
-		}
-		r.rng = rand.New(rand.NewSource(h))
+		r.rng = rand.New(rand.NewSource(fallbackSeed(r.addr)))
 	}
 	jitter := 0.5 + 0.5*r.rng.Float64()
 	r.rngMu.Unlock()

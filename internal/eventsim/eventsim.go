@@ -5,7 +5,10 @@
 //
 // The engine is deliberately single-threaded: determinism matters more than
 // parallelism for a congestion-control study, where a one-packet reordering
-// changes every downstream measurement.
+// changes every downstream measurement. Parallelism comes from running
+// several engines side by side — see the shard subpackage, which
+// synchronizes one engine per fabric partition under conservative time
+// windows without giving up the same-seed-same-trace contract.
 //
 // The scheduler is allocation-free in steady state: events live in a
 // slab whose slots are recycled through an intrusive free-list, and the
@@ -61,6 +64,16 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  Handler
+
+	// key is an optional structural ordering key that ranks between at and
+	// seq. Events scheduled with plain Schedule carry key 0, so their
+	// relative order is pure (at, seq) — identical to the engine's historic
+	// behavior. Sharded simulations schedule link deliveries with a key
+	// derived from the sending (node, port, emission count), making
+	// same-timestamp arrival order a function of the traffic itself rather
+	// than of which engine scheduled it first; that is what keeps a run
+	// byte-identical across shard counts.
+	key uint64
 
 	// gen is the slot's generation; it increments every time the slot is
 	// released (fire or cancel), so EventIDs issued for earlier occupants
@@ -124,6 +137,17 @@ func (e *Engine) Rand() *rand.Rand {
 // programming error and panics: silently reordering time corrupts every
 // queue model downstream.
 func (e *Engine) Schedule(at Time, fn Handler) EventID {
+	return e.ScheduleKeyed(at, 0, fn)
+}
+
+// ScheduleKeyed runs fn at absolute virtual time at, ordered among
+// same-timestamp events by key before insertion sequence. Key 0 (what
+// Schedule uses) sorts before all nonzero keys with the same timestamp,
+// preserving the historic (at, seq) order for unkeyed events. Nonzero keys
+// give same-timestamp events a structural total order that is independent
+// of which engine — or how many engines — scheduled them; the sharded
+// runtime relies on this for its determinism contract.
+func (e *Engine) ScheduleKeyed(at Time, key uint64, fn Handler) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
 	}
@@ -138,6 +162,7 @@ func (e *Engine) Schedule(at Time, fn Handler) EventID {
 	}
 	ev := &e.slots[slot]
 	ev.at = at
+	ev.key = key
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
@@ -187,6 +212,16 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending reports the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// NextEventTime reports the timestamp of the earliest pending event, and
+// false when the queue is empty. The sharded coordinator uses it to size
+// conservative time windows (skip ahead when every shard is idle).
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slots[e.heap[0]].at, true
+}
+
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
@@ -227,12 +262,34 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// less orders slots by (time, sequence): the unique deterministic total
-// order every heap layout must realize.
+// RunBefore executes events with timestamps strictly before horizon, then
+// advances the clock to exactly horizon. This is the window-execution
+// primitive of the sharded runtime: events at horizon itself stay queued,
+// so cross-shard arrivals landing exactly on a window boundary can still
+// be merged ahead of (or behind) them in structural-key order before the
+// next window runs.
+func (e *Engine) RunBefore(horizon Time) {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 && e.slots[e.heap[0]].at < horizon {
+		if !e.Step() {
+			break
+		}
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// less orders slots by (time, key, sequence): the unique deterministic
+// total order every heap layout must realize. All-zero keys reduce this to
+// the historic (time, sequence) order.
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.slots[a], &e.slots[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
+	}
+	if ea.key != eb.key {
+		return ea.key < eb.key
 	}
 	return ea.seq < eb.seq
 }

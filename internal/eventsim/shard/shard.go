@@ -1,0 +1,178 @@
+// Package shard runs several eventsim.Engines in parallel under a
+// conservative time-window protocol, the classic "null-message-free"
+// synchronous variant of parallel discrete-event simulation.
+//
+// The model: the fabric is partitioned into shards, each owning one
+// engine driven by its own worker goroutine, plus one global engine owned
+// by the coordinator thread for everything that spans shards (workload
+// arrivals, fault injection, flow-completion bookkeeping). Time advances
+// in windows [T, E): every shard may execute its events with timestamps
+// strictly below E without synchronizing, because the earliest possible
+// cross-shard influence generated inside the window arrives no earlier
+// than m + W, where m is the minimum pending-event time across shards at
+// the window start and W — the lookahead — is the minimum link
+// propagation delay of the fabric. The coordinator picks
+//
+//	E = min(deadline, nextGlobalEvent, m + W)
+//
+// so every cross-shard handoff produced inside a window lands at or after
+// the window's end and can be merged at the barrier before anyone runs
+// past it.
+//
+// Determinism contract: a fixed seed produces byte-identical traces
+// regardless of shard count. Three properties carry it:
+//
+//  1. Window boundaries are shard-count-invariant: E depends only on the
+//     union of pending events across all engines, which is a function of
+//     the simulation state, not of how nodes are grouped.
+//  2. Handoffs are merged in a structural order — sorted by (arrival
+//     time, key), where the key encodes (source node, source port,
+//     per-port emission number) — and injected with
+//     Engine.ScheduleKeyed, so same-timestamp arrivals order identically
+//     whether they crossed a shard boundary or not.
+//  3. Event handlers touch only their own node's state; everything
+//     cross-node flows through keyed link deliveries or through the
+//     global engine, which only runs at barriers while every worker is
+//     parked.
+package shard
+
+import (
+	"repro/internal/eventsim"
+)
+
+// Coordinator drives a set of shard engines plus one global engine
+// through conservative time windows. It is not safe for concurrent use;
+// exactly one goroutine (the owner of the global engine) may call its
+// methods.
+type Coordinator struct {
+	global  *eventsim.Engine
+	engines []*eventsim.Engine
+	// lookahead is W: the minimum cross-shard propagation delay. Window
+	// length is bounded by it, so it must be positive.
+	lookahead eventsim.Time
+	// barrier runs at every window boundary with all workers parked: the
+	// owner drains cross-shard handoff queues into destination engines
+	// and schedules deferred completion callbacks onto the global engine.
+	barrier func()
+}
+
+// New builds a coordinator over the given engines. lookahead must be
+// positive — with zero lookahead no window can make progress. barrier may
+// be nil.
+func New(global *eventsim.Engine, engines []*eventsim.Engine, lookahead eventsim.Time, barrier func()) *Coordinator {
+	if lookahead <= 0 {
+		panic("shard: non-positive lookahead")
+	}
+	if len(engines) == 0 {
+		panic("shard: no shard engines")
+	}
+	if barrier == nil {
+		barrier = func() {}
+	}
+	return &Coordinator{global: global, engines: engines, lookahead: lookahead, barrier: barrier}
+}
+
+// Engines exposes the shard engines (indexed by shard).
+func (c *Coordinator) Engines() []*eventsim.Engine { return c.engines }
+
+// Now reports the global virtual clock. Between RunUntil calls every
+// shard engine agrees with it.
+func (c *Coordinator) Now() eventsim.Time { return c.global.Now() }
+
+// Pending sums scheduled events across the global and all shard engines.
+func (c *Coordinator) Pending() int {
+	n := c.global.Pending()
+	for _, e := range c.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// Processed sums executed events across the global and all shard engines.
+func (c *Coordinator) Processed() uint64 {
+	n := c.global.Processed
+	for _, e := range c.engines {
+		n += e.Processed
+	}
+	return n
+}
+
+// windowEnd picks the next safe synchronization horizon: the earliest of
+// the caller's deadline, the next global event (which must run with all
+// shards parked at exactly its time), and m + lookahead. Guaranteed to
+// exceed the current global time whenever deadline does.
+func (c *Coordinator) windowEnd(deadline eventsim.Time) eventsim.Time {
+	end := deadline
+	if g, ok := c.global.NextEventTime(); ok && g < end {
+		end = g
+	}
+	first := true
+	var m eventsim.Time
+	for _, e := range c.engines {
+		if t, ok := e.NextEventTime(); ok && (first || t < m) {
+			m, first = t, false
+		}
+	}
+	if !first && m+c.lookahead < end {
+		end = m + c.lookahead
+	}
+	return end
+}
+
+// RunUntil advances the whole sharded simulation to absolute virtual time
+// deadline, inclusive: like eventsim.Engine.RunUntil it also executes
+// events timestamped exactly at deadline, so callers can sample state "at
+// t" between calls. Workers are spawned per call and joined before it
+// returns; between calls every engine is quiescent and owned by the
+// caller's goroutine.
+func (c *Coordinator) RunUntil(deadline eventsim.Time) {
+	nw := len(c.engines)
+	cmd := make([]chan eventsim.Time, nw)
+	done := make(chan struct{}, nw)
+	for i := range c.engines {
+		cmd[i] = make(chan eventsim.Time)
+		go func(e *eventsim.Engine, in <-chan eventsim.Time) {
+			for horizon := range in {
+				e.RunBefore(horizon)
+				done <- struct{}{}
+			}
+		}(c.engines[i], cmd[i])
+	}
+
+	for {
+		// Flush global events due exactly now; their handlers may touch
+		// shard state (starting flows, flipping links) — safe, since every
+		// worker is parked and shard clocks equal the global clock.
+		c.global.RunUntil(c.global.Now())
+		t := c.global.Now()
+		if t >= deadline {
+			break
+		}
+		end := c.windowEnd(deadline)
+		for _, ch := range cmd {
+			ch <- end
+		}
+		for range cmd {
+			<-done
+		}
+		// Barrier: merge handoffs (arrivals are all ≥ end by the lookahead
+		// argument) and schedule deferred callbacks, then run global events
+		// strictly before the boundary at their exact times.
+		c.barrier()
+		c.global.RunBefore(end)
+	}
+	for _, ch := range cmd {
+		close(ch)
+	}
+
+	// Inclusive pass: run events timestamped exactly at the deadline.
+	// Cross-shard arrivals at the deadline were injected at the final
+	// barrier above, so they merge with intra-shard peers in key order;
+	// anything these events emit lands strictly later (sends pay at least
+	// the lookahead, or serialization, beyond now).
+	for _, e := range c.engines {
+		e.RunUntil(deadline)
+	}
+	c.barrier()
+	c.global.RunUntil(deadline)
+}

@@ -9,6 +9,35 @@ import (
 	"repro/internal/eventsim"
 )
 
+// diffTraces fails the test with a snippet around the first divergent byte
+// of two traces that should have been identical.
+func diffTraces(t *testing.T, what string, got, want []byte) {
+	t.Helper()
+	if bytes.Equal(got, want) {
+		return
+	}
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	snip := func(b []byte) string {
+		hi := i + 80
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo > len(b) {
+			return ""
+		}
+		return string(b[lo:hi])
+	}
+	t.Fatalf("%s at byte %d (got %d bytes, want %d)\n got: …%s…\nwant: …%s…",
+		what, i, len(got), len(want), snip(got), snip(want))
+}
+
 // The golden traces under testdata/ were captured from the pre-pool build
 // (container/heap engine, per-packet allocation, per-row sketch hashing)
 // at seed 7, QuickScale, 40 ms horizon. Replaying the same experiments on
@@ -55,30 +84,71 @@ func TestChaosTraceGolden(t *testing.T) {
 			if err := tc.run(&buf); err != nil {
 				t.Fatal(err)
 			}
-			got := buf.Bytes()
-			if bytes.Equal(got, want) {
-				return
+			diffTraces(t, "trace diverges from pre-pool golden", buf.Bytes(), want)
+		})
+	}
+}
+
+// TestChaosTraceGoldenSharded is the determinism contract applied to the
+// full chaos stack: the same experiment at the same seed must emit a
+// byte-identical trace whether the fabric runs on one engine shard or
+// several. -shards=4 clamps to QuickScale's 2 ToR pods, so this exercises
+// real cross-shard handoff on every leaf traversal while the control loop,
+// fault injector, and trace recorder all ride the global engine.
+//
+// The sharded goldens differ from the single-engine ones: completion hooks
+// (the alltoall round chaining) fire at window boundaries under sharding,
+// which shifts when follow-on flows start. That shift is identical for
+// every shard count — which is exactly what this test pins down.
+//
+// Regenerate alongside the legacy goldens with:
+//
+//	go run ./cmd/paraleon-sim -exp chaos-linkflap -scale quick -shards 4 \
+//	   -chaos-seed 7 -chaos-trace internal/harness/testdata/chaos_linkflap_seed7_quick_sharded.golden.jsonl
+//
+// and likewise for chaos-agentcrash.
+func TestChaosTraceGoldenSharded(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		run    func(shards int, traceTo *bytes.Buffer) error
+	}{
+		{
+			name:   "linkflap",
+			golden: "chaos_linkflap_seed7_quick_sharded.golden.jsonl",
+			run: func(shards int, buf *bytes.Buffer) error {
+				scale := QuickScale()
+				scale.Net.Shards = shards
+				_, err := ChaosLinkFlap(scale, 40*eventsim.Millisecond, 7, buf)
+				return err
+			},
+		},
+		{
+			name:   "agentcrash",
+			golden: "chaos_agentcrash_seed7_quick_sharded.golden.jsonl",
+			run: func(shards int, buf *bytes.Buffer) error {
+				scale := QuickScale()
+				scale.Net.Shards = shards
+				_, err := ChaosAgentCrash(scale, 40*eventsim.Millisecond, 7, buf)
+				return err
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var one, four bytes.Buffer
+			if err := tc.run(1, &one); err != nil {
+				t.Fatal(err)
 			}
-			i := 0
-			for i < len(got) && i < len(want) && got[i] == want[i] {
-				i++
+			if err := tc.run(4, &four); err != nil {
+				t.Fatal(err)
 			}
-			lo := i - 80
-			if lo < 0 {
-				lo = 0
+			diffTraces(t, "-shards=4 trace diverges from -shards=1", four.Bytes(), one.Bytes())
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
 			}
-			snip := func(b []byte) string {
-				hi := i + 80
-				if hi > len(b) {
-					hi = len(b)
-				}
-				if lo > len(b) {
-					return ""
-				}
-				return string(b[lo:hi])
-			}
-			t.Fatalf("trace diverges from pre-pool golden at byte %d (got %d bytes, want %d)\n got: …%s…\nwant: …%s…",
-				i, len(got), len(want), snip(got), snip(want))
+			diffTraces(t, "sharded trace diverges from golden", one.Bytes(), want)
 		})
 	}
 }

@@ -127,6 +127,12 @@ type PacketPool struct {
 	// Recycled and Fresh count Get calls served from the free-list and by
 	// allocation; their ratio is the pool hit rate.
 	Recycled, Fresh int64
+	// Puts counts packets returned to the pool (whether or not the
+	// free-list had room to keep them). The leak invariant every Get must
+	// eventually balance is Fresh+Recycled == Puts + packets still in
+	// flight; sim.Network.CheckPoolInvariant walks the fabric to count the
+	// in-flight term.
+	Puts int64
 }
 
 // NewPacketPool returns an empty pool.
@@ -155,6 +161,7 @@ func (p *PacketPool) Put(pkt *Packet) {
 	if p == nil || pkt == nil {
 		return
 	}
+	p.Puts++
 	*pkt = Packet{}
 	if len(p.free) >= maxPooledPackets {
 		return

@@ -29,6 +29,14 @@ type Config struct {
 	Seed int64
 	// MTU overrides the data payload per packet when > 0.
 	MTU int
+	// Shards, when > 0, runs the fabric sharded: the topology is
+	// partitioned by ToR pod into up to Shards shards, each driven by its
+	// own engine on its own goroutine under conservative time windows
+	// (see internal/eventsim/shard). For a fixed Seed the simulation is
+	// byte-identical for every Shards ≥ 1 value. 0 (the default) is the
+	// legacy single-engine path, unchanged bit for bit from before
+	// sharding existed.
+	Shards int
 }
 
 // DefaultConfig is a small, fast fabric useful for tests and examples:
@@ -69,8 +77,12 @@ type Network struct {
 	// pool is the network-wide packet free-list: every host and switch
 	// draws from and recycles into it. Safe because the engine is
 	// single-threaded; parallel experiment arms each own a Network and
-	// therefore a pool.
+	// therefore a pool. In sharded mode this is nil and each shard owns a
+	// pool instead (see shardRuntime).
 	pool *netdev.PacketPool
+
+	// shard is non-nil when the network runs sharded (Config.Shards > 0).
+	shard *shardRuntime
 
 	hostByNode   map[topology.NodeID]*rnic.Host
 	switchByNode map[topology.NodeID]*netdev.Switch
@@ -119,7 +131,6 @@ func New(cfg Config) (*Network, error) {
 	eng := eventsim.NewEngine(cfg.Seed)
 	n := &Network{
 		Eng: eng, Topo: topo, cfg: cfg,
-		pool:         netdev.NewPacketPool(),
 		hostByNode:   map[topology.NodeID]*rnic.Host{},
 		switchByNode: map[topology.NodeID]*netdev.Switch{},
 		switchParams: map[topology.NodeID]*dcqcn.Params{},
@@ -129,6 +140,14 @@ func New(cfg Config) (*Network, error) {
 	rp := cfg.Params
 	n.rnicParams = &rp
 
+	if cfg.Shards > 0 {
+		if err := n.buildSharded(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+
+	n.pool = netdev.NewPacketPool()
 	for _, sn := range topo.SwitchIDs() {
 		sp := cfg.Params
 		spp := &sp
@@ -316,7 +335,15 @@ func (n *Network) StartFlowAt(at eventsim.Time, src, dst topology.NodeID, size i
 }
 
 func (n *Network) flowCompleted(id uint64, src, dst topology.NodeID, size int64, start, end eventsim.Time) {
-	rec := FlowRecord{ID: id, Src: src, Dst: dst, Size: size, Start: start, End: end}
+	n.deliverCompletion(FlowRecord{ID: id, Src: src, Dst: dst, Size: size, Start: start, End: end})
+}
+
+// deliverCompletion records a finished flow and fires the completion
+// hooks. In legacy mode it runs inline with the last byte's arrival; in
+// sharded mode the shard runtime defers it to the coordinator thread at
+// the completion's exact virtual time, because hooks are global (they may
+// start flows on other shards or write to the trace).
+func (n *Network) deliverCompletion(rec FlowRecord) {
 	n.Completed = append(n.Completed, rec)
 	if n.OnFlowComplete != nil {
 		n.OnFlowComplete(rec)
@@ -335,23 +362,58 @@ func (n *Network) ActiveFlows() int {
 	return total
 }
 
-// Run advances the simulation to absolute virtual time deadline.
-func (n *Network) Run(deadline eventsim.Time) { n.Eng.RunUntil(deadline) }
+// Run advances the simulation to absolute virtual time deadline. In
+// sharded mode the coordinator drives the window loop; between Run calls
+// every engine is quiescent at the deadline and the caller's goroutine
+// may freely read or mutate any device.
+func (n *Network) Run(deadline eventsim.Time) {
+	if n.shard != nil {
+		n.shard.coord.RunUntil(deadline)
+		return
+	}
+	n.Eng.RunUntil(deadline)
+}
+
+// Pending reports scheduled events across every engine of the network.
+func (n *Network) Pending() int {
+	if n.shard != nil {
+		return n.shard.coord.Pending()
+	}
+	return n.Eng.Pending()
+}
+
+// EventsProcessed reports events executed across every engine of the
+// network (throughput accounting for benchmarks).
+func (n *Network) EventsProcessed() uint64 {
+	if n.shard != nil {
+		return n.shard.coord.Processed()
+	}
+	return n.Eng.Processed
+}
+
+// Shards reports the number of shards actually running (1+ in sharded
+// mode — the partition clamps to the ToR count — and 0 in legacy mode).
+func (n *Network) Shards() int {
+	if n.shard == nil {
+		return 0
+	}
+	return n.shard.nshards
+}
 
 // RunUntilIdle runs until no work remains or maxTime is reached, returning
 // the stop time. Useful for draining a fixed workload.
 func (n *Network) RunUntilIdle(maxTime eventsim.Time) eventsim.Time {
 	step := 100 * eventsim.Microsecond
 	for n.Eng.Now() < maxTime {
-		if n.Eng.Pending() == 0 {
+		if n.Pending() == 0 {
 			break
 		}
 		next := n.Eng.Now() + step
 		if next > maxTime {
 			next = maxTime
 		}
-		n.Eng.RunUntil(next)
-		if n.ActiveFlows() == 0 && n.Eng.Pending() == 0 {
+		n.Run(next)
+		if n.ActiveFlows() == 0 && n.Pending() == 0 {
 			break
 		}
 	}
@@ -373,8 +435,62 @@ func (n *Network) IdealFCT(src, dst topology.NodeID, size int64) eventsim.Time {
 }
 
 // PacketPool exposes the network-wide packet free-list (pool hit-rate
-// accounting in overhead reports and tests).
-func (n *Network) PacketPool() *netdev.PacketPool { return n.pool }
+// accounting in overhead reports and tests). In sharded mode it returns
+// shard 0's pool; use PacketPools for all of them.
+func (n *Network) PacketPool() *netdev.PacketPool {
+	if n.shard != nil {
+		return n.shard.pools[0]
+	}
+	return n.pool
+}
+
+// PacketPools lists every packet pool of the network: one in legacy mode,
+// one per shard in sharded mode.
+func (n *Network) PacketPools() []*netdev.PacketPool {
+	if n.shard != nil {
+		return n.shard.pools
+	}
+	return []*netdev.PacketPool{n.pool}
+}
+
+// PacketsInNetwork counts packets currently alive in the fabric: queued
+// at a port, mid-serialization, crossing a wire, or held by the shard
+// handoff machinery. Every such packet came from a pool Get and has not
+// yet been Put.
+func (n *Network) PacketsInNetwork() int {
+	total := 0
+	for _, sw := range n.Switches {
+		total += sw.InFlightPackets()
+	}
+	for _, h := range n.Hosts {
+		total += h.Port().InFlightPackets()
+	}
+	if n.shard != nil {
+		total += n.shard.outstanding()
+	}
+	return total
+}
+
+// CheckPoolInvariant verifies the packet-pool leak invariant: every
+// packet a pool handed out (Fresh + Recycled) is either back in a pool
+// (Puts) or still visible somewhere in the fabric. A violation means some
+// path sank a packet without returning it — the slab would grow without
+// bound over a long chaos run. Call it while the network is quiescent
+// (between Run calls).
+func (n *Network) CheckPoolInvariant() error {
+	var fresh, recycled, puts int64
+	for _, p := range n.PacketPools() {
+		fresh += p.Fresh
+		recycled += p.Recycled
+		puts += p.Puts
+	}
+	inFlight := int64(n.PacketsInNetwork())
+	if fresh+recycled != puts+inFlight {
+		return fmt.Errorf("sim: packet pool leak: Fresh(%d)+Recycled(%d) = %d gets, but Puts(%d)+inFlight(%d) = %d",
+			fresh, recycled, fresh+recycled, puts, inFlight, puts+inFlight)
+	}
+	return nil
+}
 
 // HostLinkBps reports the configured host link rate.
 func (n *Network) HostLinkBps() float64 { return n.cfg.Clos.HostLinkBps }

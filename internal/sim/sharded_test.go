@@ -1,0 +1,174 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eventsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// shardTestConfig is a 4-pod fabric small enough to run in milliseconds
+// but with real cross-shard traffic through the leaf tier.
+func shardTestConfig(shards int) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Clos = topology.ClosConfig{
+		NumToR: 4, NumLeaf: 2, HostsPerToR: 4,
+		HostLinkBps: 10e9, FabricLinkBps: 40e9,
+		PropDelay: 2 * eventsim.Microsecond,
+	}
+	cfg.Seed = 7
+	cfg.Shards = shards
+	return cfg
+}
+
+// installCrossShardWorkload pre-schedules a randomized workload from a
+// fixed seed: bursts of flows whose endpoints land in different pods, so
+// with 4 shards nearly every flow crosses a boundary. Pre-scheduled (no
+// completion-hook chaining) so the same schedule replays exactly on the
+// legacy single-engine path too.
+func installCrossShardWorkload(n *sim.Network, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	hosts := n.Topo.Hosts()
+	for i := 0; i < 120; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		at := eventsim.Time(rng.Int63n(int64(300 * eventsim.Microsecond)))
+		size := int64(1000 + rng.Intn(200_000))
+		n.StartFlowAt(at, src, dst, size)
+	}
+}
+
+// runShardWorkload drives the workload to completion and returns the
+// completion records.
+func runShardWorkload(t *testing.T, shards int) []sim.FlowRecord {
+	t.Helper()
+	cfg := shardTestConfig(shards)
+	n, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installCrossShardWorkload(n, 99)
+	end := n.RunUntilIdle(50 * eventsim.Millisecond)
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("shards=%d: %d flows still active at %v", shards, n.ActiveFlows(), end)
+	}
+	if len(n.Completed) != 120 {
+		t.Fatalf("shards=%d: %d completions, want 120", shards, len(n.Completed))
+	}
+	if err := n.CheckPoolInvariant(); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return n.Completed
+}
+
+func recordKey(r sim.FlowRecord) string {
+	return fmt.Sprintf("id=%d src=%d dst=%d size=%d start=%d end=%d", r.ID, r.Src, r.Dst, r.Size, r.Start, r.End)
+}
+
+// TestShardedDeterminism is the A/B half of the determinism contract: the
+// same seed and workload must yield identical flow records — same IDs,
+// same start and end nanoseconds, same completion order — for every shard
+// count.
+func TestShardedDeterminism(t *testing.T) {
+	ref := runShardWorkload(t, 1)
+	for _, shards := range []int{2, 4} {
+		got := runShardWorkload(t, shards)
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: %d records, want %d", shards, len(got), len(ref))
+		}
+		for i := range ref {
+			if recordKey(got[i]) != recordKey(ref[i]) {
+				t.Fatalf("shards=%d: record %d diverges:\n  shards=1: %s\n  shards=%d: %s",
+					shards, i, recordKey(ref[i]), shards, recordKey(got[i]))
+			}
+		}
+	}
+}
+
+// TestLargeCLOSShardedQuickRun is the scale smoke test: a 4096-host CLOS
+// (64 ToR pods × 64 hosts, 16 leaves) builds in sharded mode and pushes a
+// cross-pod workload to completion. It guards construction cost (per-pod
+// engines, pools, handoff wiring for every fabric link) and the window
+// protocol's liveness at a pod count far beyond the micro tests — not
+// throughput, which BenchmarkShardedThroughput measures.
+func TestLargeCLOSShardedQuickRun(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Clos = topology.ClosConfig{
+		NumToR: 64, NumLeaf: 16, HostsPerToR: 64,
+		HostLinkBps: 10e9, FabricLinkBps: 100e9,
+		PropDelay: 2 * eventsim.Microsecond,
+	}
+	cfg.Seed = 7
+	cfg.Shards = 8
+	n, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8", got)
+	}
+	hosts := n.Topo.Hosts()
+	if len(hosts) != 4096 {
+		t.Fatalf("%d hosts, want 4096", len(hosts))
+	}
+	// One flow out of every 16th host into the next pod over: 256 flows,
+	// all crossing shard boundaries through the leaf tier.
+	flows := 0
+	for h := 0; h < len(hosts); h += 16 {
+		dst := (h + 64) % len(hosts)
+		at := eventsim.Time(h) * eventsim.Microsecond / 16
+		n.StartFlowAt(at, hosts[h], hosts[dst], 256<<10)
+		flows++
+	}
+	n.RunUntilIdle(eventsim.Second)
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active", n.ActiveFlows())
+	}
+	if len(n.Completed) != flows {
+		t.Fatalf("%d completions, want %d", len(n.Completed), flows)
+	}
+	if err := n.CheckPoolInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedMatchesSingleEngine replays the same pre-scheduled workload
+// on the legacy single-engine path and on the sharded runtime. With no
+// completion-hook-driven scheduling the two paths perform identical
+// per-flow work, so every flow's (start, end) must match exactly; only
+// the append order of same-instant completions may differ (legacy orders
+// by event sequence, sharded by flow ID), so records are compared by ID.
+func TestShardedMatchesSingleEngine(t *testing.T) {
+	legacyCfg := shardTestConfig(0)
+	legacy, err := sim.New(legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installCrossShardWorkload(legacy, 99)
+	legacy.RunUntilIdle(50 * eventsim.Millisecond)
+	if len(legacy.Completed) != 120 {
+		t.Fatalf("legacy: %d completions, want 120", len(legacy.Completed))
+	}
+	byID := map[uint64]sim.FlowRecord{}
+	for _, r := range legacy.Completed {
+		byID[r.ID] = r
+	}
+
+	sharded := runShardWorkload(t, 4)
+	for _, got := range sharded {
+		want, ok := byID[got.ID]
+		if !ok {
+			t.Fatalf("flow %d completed sharded but not legacy", got.ID)
+		}
+		if recordKey(got) != recordKey(want) {
+			t.Fatalf("flow %d diverges from single-engine reference:\n  legacy:  %s\n  sharded: %s",
+				got.ID, recordKey(want), recordKey(got))
+		}
+	}
+}

@@ -8,8 +8,8 @@
 package topology
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"repro/internal/eventsim"
 )
@@ -85,16 +85,24 @@ type Topology struct {
 	Nodes []Node
 	Links []Link
 
-	// nextHops[src][dst] lists the local ports at src that lie on a
-	// shortest path toward dst, sorted for determinism. ECMP picks among
-	// them by flow hash.
-	nextHops [][][]int
-	// hopCount[src][dst] is the number of links on a shortest path.
-	hopCount [][]int
-	// pathDelay[src][dst] is the summed propagation delay along a
+	// Routing tables are flat [src*n+dst] arenas rather than nested
+	// slices: at thousands of nodes the n² slice headers alone run to
+	// hundreds of megabytes and every GC cycle walks them. nhIndex holds
+	// 1+index into nhSets (0 = no route / src == dst); the port sets
+	// themselves are interned, since a node has only a handful of
+	// distinct ECMP groups no matter how many destinations it routes.
+	nhIndex []uint32
+	// nhSets are the interned next-hop port lists: the local ports at src
+	// on a shortest path toward dst, ascending. ECMP picks among them by
+	// flow hash; callers must not mutate (sets are shared across pairs).
+	nhSets [][]int
+	// hopCount[src*n+dst] is the number of links on a shortest path, -1
+	// if unreachable.
+	hopCount []int32
+	// pathDelay[src*n+dst] is the summed propagation delay along a
 	// shortest path (Swift-style "base path delay" numerator, before
 	// adding serialization).
-	pathDelay [][]eventsim.Time
+	pathDelay []eventsim.Time
 
 	hosts []NodeID
 }
@@ -125,7 +133,7 @@ func (t *Topology) AddLink(a, b NodeID, rateBps float64, prop eventsim.Time) Lin
 	t.Links = append(t.Links, l)
 	na.Ports = append(na.Ports, id)
 	nb.Ports = append(nb.Ports, id)
-	t.nextHops = nil // invalidate routing
+	t.nhIndex = nil // invalidate routing
 	return id
 }
 
@@ -159,48 +167,55 @@ func (t *Topology) ToRs() []NodeID {
 // or BasePathDelay.
 func (t *Topology) ComputeRoutes() {
 	n := len(t.Nodes)
-	t.nextHops = make([][][]int, n)
-	t.hopCount = make([][]int, n)
-	t.pathDelay = make([][]eventsim.Time, n)
+	t.nhIndex = make([]uint32, n*n)
+	t.hopCount = make([]int32, n*n)
+	t.pathDelay = make([]eventsim.Time, n*n)
+	t.nhSets = nil
+
+	// setIDs interns the port lists by content: the lookup key is the
+	// varint-encoded list, built in a reused buffer (map lookups with a
+	// string(bytes) key don't allocate; only the rare insert does).
+	setIDs := map[string]uint32{}
+	var keyBuf []byte
+	var ports []int
 
 	// BFS from every destination over the unweighted link graph; hop
 	// count is the routing metric (links are homogeneous within a tier,
 	// and DC fabrics route on hops). Propagation delay accumulates along
 	// one arbitrary shortest path; with symmetric CLOS wiring all
 	// shortest paths have equal delay.
+	dist := make([]int32, n)
+	delay := make([]eventsim.Time, n)
+	queue := make([]int32, 0, n)
 	for dst := 0; dst < n; dst++ {
-		dist := make([]int, n)
-		delay := make([]eventsim.Time, n)
 		for i := range dist {
 			dist[i] = -1
+			delay[i] = 0
 		}
 		dist[dst] = 0
-		queue := []int{dst}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
+		queue = append(queue[:0], int32(dst))
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
 			for _, lid := range t.Nodes[cur].Ports {
 				l := &t.Links[lid]
 				peer, _ := l.Peer(NodeID(cur))
 				if dist[peer] == -1 {
 					dist[peer] = dist[cur] + 1
 					delay[peer] = delay[cur] + l.PropDelay
-					queue = append(queue, int(peer))
+					queue = append(queue, int32(peer))
 				}
 			}
 		}
 		for src := 0; src < n; src++ {
-			if t.nextHops[src] == nil {
-				t.nextHops[src] = make([][]int, n)
-				t.hopCount[src] = make([]int, n)
-				t.pathDelay[src] = make([]eventsim.Time, n)
-			}
-			t.hopCount[src][dst] = dist[src]
-			t.pathDelay[src][dst] = delay[src]
+			idx := src*n + dst
+			t.hopCount[idx] = dist[src]
+			t.pathDelay[idx] = delay[src]
 			if src == dst || dist[src] <= 0 {
 				continue
 			}
-			var ports []int
+			// Ports iterate in ascending index order, so the ECMP set
+			// comes out sorted without an explicit sort.
+			ports = ports[:0]
 			for portIdx, lid := range t.Nodes[src].Ports {
 				l := &t.Links[lid]
 				peer, _ := l.Peer(NodeID(src))
@@ -208,24 +223,41 @@ func (t *Topology) ComputeRoutes() {
 					ports = append(ports, portIdx)
 				}
 			}
-			sort.Ints(ports)
-			t.nextHops[src][dst] = ports
+			if len(ports) == 0 {
+				continue
+			}
+			keyBuf = keyBuf[:0]
+			for _, p := range ports {
+				keyBuf = binary.AppendUvarint(keyBuf, uint64(p))
+			}
+			id, ok := setIDs[string(keyBuf)]
+			if !ok {
+				t.nhSets = append(t.nhSets, append([]int(nil), ports...))
+				id = uint32(len(t.nhSets))
+				setIDs[string(keyBuf)] = id
+			}
+			t.nhIndex[idx] = id
 		}
 	}
 }
 
 // NextHops returns the ECMP port set at src toward dst. Empty means
-// unreachable (or src == dst).
+// unreachable (or src == dst). The slice is shared routing state — do
+// not mutate.
 func (t *Topology) NextHops(src, dst NodeID) []int {
 	t.mustRouted()
-	return t.nextHops[src][dst]
+	id := t.nhIndex[int(src)*len(t.Nodes)+int(dst)]
+	if id == 0 {
+		return nil
+	}
+	return t.nhSets[id-1]
 }
 
 // HopCount returns the number of links on a shortest path from src to dst,
 // or -1 if unreachable.
 func (t *Topology) HopCount(src, dst NodeID) int {
 	t.mustRouted()
-	return t.hopCount[src][dst]
+	return int(t.hopCount[int(src)*len(t.Nodes)+int(dst)])
 }
 
 // BasePathDelay returns the summed one-way propagation delay on a shortest
@@ -233,11 +265,11 @@ func (t *Topology) HopCount(src, dst NodeID) int {
 // used to normalize RTT in the Paraleon utility function.
 func (t *Topology) BasePathDelay(src, dst NodeID) eventsim.Time {
 	t.mustRouted()
-	return t.pathDelay[src][dst]
+	return t.pathDelay[int(src)*len(t.Nodes)+int(dst)]
 }
 
 func (t *Topology) mustRouted() {
-	if t.nextHops == nil {
+	if t.nhIndex == nil {
 		panic("topology: ComputeRoutes not called (or topology modified since)")
 	}
 }
@@ -330,6 +362,60 @@ func NewClos(cfg ClosConfig) (*Topology, error) {
 	}
 	t.ComputeRoutes()
 	return t, nil
+}
+
+// PodPartition splits the fabric into at most want shards along pod
+// boundaries and returns the node→shard assignment plus the number of
+// shards actually used. A pod — one ToR and the hosts under it — never
+// splits: its intra-pod links are the hottest (host↔ToR), so keeping them
+// shard-local minimizes cross-shard handoffs. Pods and leaf switches
+// distribute round-robin in ID order. want is clamped to [1, #ToRs]; the
+// result is a pure function of the topology and want, which the sharded
+// runtime's determinism contract depends on.
+func (t *Topology) PodPartition(want int) ([]int, int) {
+	tors := t.ToRs()
+	n := want
+	if n < 1 {
+		n = 1
+	}
+	if len(tors) > 0 && n > len(tors) {
+		n = len(tors)
+	}
+	part := make([]int, len(t.Nodes))
+	for i := range part {
+		part[i] = 0
+	}
+	for i, tor := range tors {
+		part[tor] = i % n
+	}
+	leaf := 0
+	for _, node := range t.Nodes {
+		switch node.Kind {
+		case Host:
+			if tor := t.ToROf(node.ID); tor >= 0 {
+				part[node.ID] = part[tor]
+			}
+		case LeafSwitch:
+			part[node.ID] = leaf % n
+			leaf++
+		}
+	}
+	return part, n
+}
+
+// MinPropDelay reports the smallest link propagation delay in the fabric,
+// or 0 for a linkless topology. This is the sharded runtime's lookahead:
+// no influence crosses any link — shard boundary or not — faster than
+// this, and using the fabric-wide minimum (rather than the cross-shard
+// minimum) keeps window boundaries identical across shard counts.
+func (t *Topology) MinPropDelay() eventsim.Time {
+	var min eventsim.Time
+	for i := range t.Links {
+		if d := t.Links[i].PropDelay; i == 0 || d < min {
+			min = d
+		}
+	}
+	return min
 }
 
 // ToROf returns the ToR switch a host hangs off, or -1 if n is not a host
