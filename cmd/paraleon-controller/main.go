@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"repro/internal/ctrlrpc"
+	"repro/internal/dispatch"
+	"repro/internal/eventsim"
 	"repro/internal/telemetry"
 )
 
@@ -31,6 +33,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "tuner randomness seed")
 	statsEvery := flag.Duration("stats-every", 10*time.Second, "stats print period (0 disables)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/status and /debug/pprof on this address")
+	ioTimeout := flag.Duration("io-timeout", 0, "per-frame read/write deadline on agent connections (0 disables)")
+	walPath := flag.String("wal", "", "write-ahead log file; a restarted controller resumes the last dispatched vector and epoch from it")
+	maxRelStep := flag.Float64("max-rel-step", 0, "guardrail: max per-parameter relative step per dispatch (0 disables)")
+	minGap := flag.Duration("min-gap", 0, "guardrail: minimum time between admitted dispatches (0 disables)")
 	flag.Parse()
 
 	var telemetrySrv *telemetry.HTTPServer
@@ -48,8 +54,20 @@ func main() {
 	cfg.Weights.TP, cfg.Weights.RTT, cfg.Weights.PFC = *wTP, *wRTT, *wPFC
 	cfg.Seed = *seed
 	cfg.Logger = log.New(os.Stderr, "controller: ", log.LstdFlags)
+	cfg.ReadTimeout = *ioTimeout
+	cfg.WriteTimeout = *ioTimeout
+	cfg.Guard.MaxRelStep = *maxRelStep
+	cfg.Guard.MinGap = eventsim.Time(minGap.Nanoseconds())
 	if err := cfg.Weights.Validate(); err != nil {
 		log.Fatalf("bad weights: %v", err)
+	}
+	if *walPath != "" {
+		wal, err := dispatch.OpenFileWAL(*walPath)
+		if err != nil {
+			log.Fatalf("wal: %v", err)
+		}
+		defer wal.Close()
+		cfg.WAL = wal
 	}
 
 	srv, err := ctrlrpc.Serve(*addr, cfg)
@@ -73,12 +91,14 @@ func main() {
 		select {
 		case <-tick:
 			st := srv.Stats()
-			fmt.Printf("stats: reports=%d ticks=%d triggers=%d dispatches=%d in=%dB out=%dB cpu=%v\n",
-				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
+			fmt.Printf("stats: reports=%d ticks=%d triggers=%d dispatches=%d rejects=%d epoch=%d acks=%d in=%dB out=%dB cpu=%v\n",
+				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.Rejects, srv.Epoch(), st.ApplyAcks,
+				st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
 		case <-stop:
 			st := srv.Stats()
-			fmt.Printf("\nfinal: reports=%d ticks=%d triggers=%d dispatches=%d in=%dB out=%dB cpu=%v\n",
-				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
+			fmt.Printf("\nfinal: reports=%d ticks=%d triggers=%d dispatches=%d rejects=%d epoch=%d acks=%d in=%dB out=%dB cpu=%v\n",
+				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.Rejects, srv.Epoch(), st.ApplyAcks,
+				st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
 			srv.Close()
 			if telemetrySrv != nil {
 				shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -221,6 +221,18 @@ func experiments() []experiment {
 			r.Fprint(out)
 			return nil
 		}},
+		{"chaos-dispatch", "controller killed mid-canary; WAL replay converges the fabric to one epoch", func(s harness.Scale, h eventsim.Time) error {
+			w, closeTrace, err := chaosTraceWriter()
+			if err != nil {
+				return err
+			}
+			r, err := harness.ChaosDispatchCrash(s, h, chaosSeed, w)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return closeTrace()
+		}},
 	}
 }
 

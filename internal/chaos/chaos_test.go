@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/eventsim"
@@ -121,8 +122,12 @@ type recordingSink struct {
 	events []string
 }
 
-func (s *recordingSink) Fault(fault, target string)   { s.events = append(s.events, "F:"+fault+":"+target) }
-func (s *recordingSink) Recover(fault, target string) { s.events = append(s.events, "R:"+fault+":"+target) }
+func (s *recordingSink) Fault(fault, target string) {
+	s.events = append(s.events, "F:"+fault+":"+target)
+}
+func (s *recordingSink) Recover(fault, target string) {
+	s.events = append(s.events, "R:"+fault+":"+target)
+}
 
 func TestInjectorLinkFlapSchedule(t *testing.T) {
 	n := quickNet(t)
@@ -209,5 +214,82 @@ func TestDegradationWindowRestores(t *testing.T) {
 	n.Run(2*eventsim.Millisecond + 1)
 	if port.Degraded() {
 		t.Error("port still degraded after the window")
+	}
+}
+
+// fakeDispatch records the faults and phase hooks the injector arms.
+type fakeDispatch struct {
+	acks  []string
+	hooks map[string][]func()
+}
+
+func (f *fakeDispatch) FaultAcks(device, drop int, delay eventsim.Time) {
+	f.acks = append(f.acks, fmt.Sprintf("dev%d drop=%d delay=%d", device, drop, delay))
+}
+
+func (f *fakeDispatch) OnPhaseEnter(phase string, fn func()) {
+	if f.hooks == nil {
+		f.hooks = map[string][]func(){}
+	}
+	f.hooks[phase] = append(f.hooks[phase], fn)
+}
+
+func TestInjectorDispatchValidation(t *testing.T) {
+	n := quickNet(t)
+	inj := NewInjector(n, nil, nil)
+	if err := inj.Install(Scenario{Dispatch: []DispatchFault{{DropAcks: 1}}}); err == nil {
+		t.Error("dispatch fault without BindDispatch accepted")
+	}
+	inj.BindDispatch(&fakeDispatch{}, nil)
+	if err := inj.Install(Scenario{Dispatch: []DispatchFault{{Device: 0}}}); err == nil {
+		t.Error("no-op dispatch fault accepted")
+	}
+	if err := inj.Install(Scenario{Dispatch: []DispatchFault{{KillAtPhase: "settle"}}}); err == nil {
+		t.Error("KillAtPhase without a kill hook accepted")
+	}
+}
+
+func TestInjectorDispatchFaults(t *testing.T) {
+	n := quickNet(t)
+	sink := &recordingSink{}
+	inj := NewInjector(n, nil, sink)
+	fd := &fakeDispatch{}
+	kills := 0
+	inj.BindDispatch(fd, func() { kills++ })
+	err := inj.Install(Scenario{
+		Seed: 1,
+		Dispatch: []DispatchFault{
+			{Device: 1, DropAcks: 2}, // arms at install
+			{Device: 0, DelayAck: eventsim.Millisecond, At: 5 * eventsim.Millisecond},
+			{KillAtPhase: "settle"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fd.acks) != 1 || fd.acks[0] != "dev1 drop=2 delay=0" {
+		t.Fatalf("install-time ACK fault wrong: %v", fd.acks)
+	}
+	n.Run(10 * eventsim.Millisecond)
+	if len(fd.acks) != 2 || fd.acks[1] != "dev0 drop=0 delay=1000000" {
+		t.Fatalf("scheduled ACK fault wrong: %v", fd.acks)
+	}
+	hooks := fd.hooks["settle"]
+	if len(hooks) != 1 {
+		t.Fatalf("settle hooks = %d, want 1", len(hooks))
+	}
+	// The kill hook fires once, even if the pipeline re-enters the phase.
+	hooks[0]()
+	hooks[0]()
+	if kills != 1 {
+		t.Errorf("kill hook fired %d times, want 1", kills)
+	}
+	want := []string{
+		"F:dispatch_ack:device 1",
+		"F:dispatch_ack:device 0",
+		"F:controller_kill:phase settle",
+	}
+	if fmt.Sprint(sink.events) != fmt.Sprint(want) {
+		t.Errorf("sink events %v, want %v", sink.events, want)
 	}
 }

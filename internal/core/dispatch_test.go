@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/eventsim"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestSystemDispatchPipeline runs the closed loop with the staged
+// rollout pipeline enabled: exploration dispatches go fabric-wide under
+// fresh epochs, the session-settling dispatch walks a canary plan, and
+// at least one plan commits with the whole fabric on one epoch.
+func TestSystemDispatchPipeline(t *testing.T) {
+	n, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickSystem()
+	cfg.Telemetry = telemetry.NewRegistry()
+	cfg.Dispatch = dispatch.Config{Enabled: true, Canary: 1, SettleIntervals: 2}
+	s, err := Attach(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dispatch == nil {
+		t.Fatal("pipeline not attached")
+	}
+	s.Start()
+	hosts := n.Topo.Hosts()
+	for i := 1; i <= 3; i++ {
+		n.StartFlow(hosts[i], hosts[0], 256<<20)
+	}
+	n.Run(40 * eventsim.Millisecond)
+	s.Stop()
+
+	if s.Dispatches == 0 {
+		t.Error("no dispatches went through the pipeline")
+	}
+	if s.Dispatch.Epoch() == 0 {
+		t.Error("no epochs granted")
+	}
+	if s.Dispatch.Plans == 0 {
+		t.Error("no canary plan started despite a settling session")
+	}
+	if s.Dispatch.Commits == 0 {
+		t.Errorf("no plan committed (plans=%d aborts=%d phase=%v)",
+			s.Dispatch.Plans, s.Dispatch.Aborts, s.Dispatch.Phase())
+	}
+	if s.Dispatch.Phase() == dispatch.PhaseIdle && !s.Dispatch.Fabric().Converged() {
+		t.Errorf("idle pipeline with diverged fabric: epochs %v", s.Dispatch.Fabric().Epochs())
+	}
+	if committed, ok := s.Dispatch.Committed(); ok && s.Dispatch.Phase() == dispatch.PhaseIdle {
+		if *n.RNICParams() != committed {
+			t.Error("network params differ from the committed vector")
+		}
+	}
+}
+
+// TestSystemDispatchDisabledIsLegacy: the zero Dispatch config must
+// leave the pipeline off entirely.
+func TestSystemDispatchDisabledIsLegacy(t *testing.T) {
+	n, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Attach(n, quickSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dispatch != nil {
+		t.Fatal("pipeline attached despite zero Dispatch config")
+	}
+}

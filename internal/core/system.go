@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dcqcn"
+	"repro/internal/dispatch"
 	"repro/internal/eventsim"
 	"repro/internal/monitor"
 	"repro/internal/sim"
@@ -45,6 +46,11 @@ type SystemConfig struct {
 	// itself against; nil means telemetry.Default(), so every run a
 	// binary performs lands in its -telemetry-addr / -report surface.
 	Telemetry *telemetry.Registry
+	// Dispatch configures the staged rollout pipeline (guardrails,
+	// canary plans, epoch commit protocol, write-ahead intent log). The
+	// zero value keeps the legacy direct-apply path byte-for-byte: no
+	// guard, no plan events, no WAL.
+	Dispatch dispatch.Config
 }
 
 // DegradeConfig is the graceful-degradation policy of a deployment.
@@ -100,6 +106,11 @@ type System struct {
 	LastSample monitor.RuntimeSample
 	// UtilityTrace records Utility(LastSample) each interval.
 	UtilityTrace []float64
+
+	// Dispatch, when non-nil, is the staged rollout pipeline every
+	// parameter push goes through (SystemConfig.Dispatch.Enabled); nil
+	// means the legacy direct-apply path.
+	Dispatch *dispatch.Pipeline
 
 	// Graceful degradation (see DegradeConfig).
 	degrade  DegradeConfig
@@ -167,6 +178,8 @@ type LoopStatus struct {
 	Aborts        int          `json:"aborts"`
 	Dispatches    int          `json:"dispatches"`
 	Rollbacks     int          `json:"rollbacks"`
+	DispatchPhase string       `json:"dispatch_phase,omitempty"`
+	DispatchEpoch uint64       `json:"dispatch_epoch,omitempty"`
 }
 
 // Attach builds a Paraleon deployment on net. The search starts from the
@@ -227,7 +240,56 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 		}
 	}
 	s.Collector = monitor.NewScopedRuntimeCollector(net, scope)
+	// The dispatch family is registered even when the pipeline is off,
+	// so every run's /metrics surface carries it for scrape checks.
+	telemetry.NewDispatchMetrics(s.reg)
+	if cfg.Dispatch.Enabled {
+		if err := s.attachDispatch(cfg, scope); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// attachDispatch builds the staged rollout pipeline over the scope
+// ToRs: device i of the fabric is scope[i], so the canary prefix is a
+// deterministic pod subset. The fabric and WAL come from the config
+// when the caller needs them to survive controller restarts (the
+// crash-recovery experiments); otherwise both are fresh.
+func (s *System) attachDispatch(cfg SystemConfig, scope []topology.NodeID) error {
+	fab := cfg.Dispatch.Fabric
+	if fab == nil {
+		fab = dispatch.NewFabric(len(scope))
+	}
+	if len(fab.Devices) != len(scope) {
+		return fmt.Errorf("core: dispatch fabric has %d devices, scope has %d ToRs", len(fab.Devices), len(scope))
+	}
+	net, full := s.Net, s.scope == nil
+	apply := func(devs []int, p dcqcn.Params) {
+		if full && len(devs) == len(scope) {
+			// Fabric-wide on an unscoped deployment: cover the leaf and
+			// spine switches too, exactly as the legacy path did.
+			net.ApplyParams(p)
+			return
+		}
+		tors := make([]topology.NodeID, len(devs))
+		for i, d := range devs {
+			tors[i] = scope[d]
+		}
+		net.ApplyParamsToCluster(tors, p)
+	}
+	s.Dispatch = dispatch.New(cfg.Dispatch, net.Eng, fab, apply, s.reg)
+	s.Dispatch.OnCommit = func(p dcqcn.Params) { s.current = p }
+	s.Dispatch.OnAbort = func(restored dcqcn.Params, reason string) {
+		// A failed canary must not poison the baseline: re-anchor the
+		// last-known-good vector at what the abort restored and reset
+		// the regression window, exactly as a rollback does.
+		s.lastGood = restored
+		s.goodUtil = s.utilEWMA
+		s.haveGood = true
+		s.regress = 0
+	}
+	return s.Dispatch.Resume(*net.RNICParams(), net.Eng.Now())
 }
 
 // beginSession starts (or restarts) a tuning session, opening its trace
@@ -345,19 +407,48 @@ func (s *System) tick() {
 	if s.checkRollback(util) {
 		return
 	}
+	// Advance an in-flight rollout plan with this interval's health
+	// signals. Frozen and idle intervals never reach here — a canary
+	// must not be judged (or promoted) on readings the loop itself
+	// considers suspect.
+	if s.Dispatch != nil {
+		s.Dispatch.Tick(dispatch.Health{
+			Utility:   s.utilEWMA,
+			PauseFrac: 1 - sample.OPFC,
+			KL:        s.Controller.LastKL,
+		}, now)
+	}
 	wasActive := s.Tuner.Active()
 	if p, ok := s.Tuner.Step(sample, fsd); ok {
-		s.apply(p)
-		s.Dispatches++
-		s.TM.Dispatches.Inc()
-		s.TM.DispatchLatencyMs.Observe(float64(now-s.sessionStart) / 1e6)
-		if s.OnDispatch != nil {
-			s.OnDispatch(p)
+		final := wasActive && !s.Tuner.Active()
+		applied := true
+		if s.Dispatch != nil {
+			// The pipeline owns the push: exploration steps go through
+			// the guard and apply fabric-wide under a fresh epoch; the
+			// session-settling dispatch starts a canary rollout plan.
+			if final {
+				applied, _ = s.Dispatch.SubmitFinal(p, s.utilEWMA, now)
+			} else {
+				applied, _ = s.Dispatch.SubmitExplore(p, now)
+				if applied {
+					s.current = p
+				}
+			}
+		} else {
+			s.apply(p)
 		}
-		if s.Trace != nil {
-			s.Trace.DispatchIn(s.sessionSpan, p)
+		if applied {
+			s.Dispatches++
+			s.TM.Dispatches.Inc()
+			s.TM.DispatchLatencyMs.Observe(float64(now-s.sessionStart) / 1e6)
+			if s.OnDispatch != nil {
+				s.OnDispatch(p)
+			}
+			if s.Trace != nil {
+				s.Trace.DispatchIn(s.sessionSpan, p)
+			}
 		}
-		if wasActive && !s.Tuner.Active() {
+		if final {
 			// The session settled on this dispatch.
 			s.TM.SettleMs.Observe(float64(now-s.sessionStart) / 1e6)
 			if s.Trace != nil && s.sessionSpan != 0 {
@@ -373,6 +464,12 @@ func (s *System) tick() {
 // than letting HTTP handlers poll the System) keeps the single-threaded
 // simulation state off concurrent scrape goroutines.
 func (s *System) publishStatus(now eventsim.Time) {
+	var phase string
+	var epoch uint64
+	if s.Dispatch != nil {
+		phase = s.Dispatch.Phase().String()
+		epoch = s.Dispatch.Epoch()
+	}
 	s.reg.PublishStatus("control_loop", LoopStatus{
 		VirtualTimeNs: int64(now),
 		Params:        s.current,
@@ -389,13 +486,19 @@ func (s *System) publishStatus(now eventsim.Time) {
 		Aborts:        s.Tuner.Aborts,
 		Dispatches:    s.Dispatches,
 		Rollbacks:     s.Rollbacks,
+		DispatchPhase: phase,
+		DispatchEpoch: epoch,
 	})
 }
 
 // apply dispatches p to the system's scope and records it as the live
-// setting.
+// setting. With the pipeline attached this is the rollback/restore
+// path: the push still goes through it so the restore is epoch-stamped,
+// journaled, and idempotent on the devices.
 func (s *System) apply(p dcqcn.Params) {
-	if s.scope != nil {
+	if s.Dispatch != nil {
+		s.Dispatch.Restore(p, s.Net.Eng.Now())
+	} else if s.scope != nil {
 		s.Net.ApplyParamsToCluster(s.scope, p)
 	} else {
 		s.Net.ApplyParams(p)

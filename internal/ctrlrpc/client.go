@@ -18,6 +18,12 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
+	// Timeout, when > 0, bounds each frame write and each response read
+	// with a connection deadline, so a hung controller fails the call
+	// instead of wedging the agent's dispatch loop forever. 0 keeps the
+	// pre-deadline behaviour (block indefinitely).
+	Timeout time.Duration
+
 	// BytesIn and BytesOut count wire traffic for overhead accounting.
 	BytesIn, BytesOut int64
 
@@ -49,6 +55,9 @@ func NewClient(conn net.Conn) *Client {
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(typ byte, msg any) (byte, []byte, error) {
+	if c.Timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	}
 	n, err := WriteFrame(c.bw, typ, msg)
 	if err != nil {
 		return 0, nil, err
@@ -57,6 +66,10 @@ func (c *Client) roundTrip(typ byte, msg any) (byte, []byte, error) {
 	if c.TM != nil {
 		c.TM.FramesOut.Inc()
 		c.TM.BytesOut.Add(int64(n))
+	}
+	if c.Timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+		defer c.conn.SetReadDeadline(time.Time{})
 	}
 	rtyp, payload, rn, err := ReadFrame(c.br)
 	if err != nil {
@@ -82,19 +95,47 @@ func (c *Client) SendReport(r Report) error {
 	return nil
 }
 
+// TickResult is the controller's answer to a tick: the parameter
+// vector to run, the epoch stamped on it, and whether this interval
+// changed it (Changed) after a KL trigger (Triggered).
+type TickResult struct {
+	Params    dcqcn.Params
+	Epoch     uint64
+	Changed   bool
+	Triggered bool
+}
+
 // Tick closes interval seq and returns the controller's parameter
 // decision.
-func (c *Client) Tick(seq uint64, interval time.Duration) (params dcqcn.Params, changed, triggered bool, err error) {
+func (c *Client) Tick(seq uint64, interval time.Duration) (TickResult, error) {
 	typ, payload, err := c.roundTrip(TypeTick, &TickMsg{Seq: seq, IntervalNanos: interval.Nanoseconds()})
 	if err != nil {
-		return dcqcn.Params{}, false, false, err
+		return TickResult{}, err
 	}
 	if typ != TypeParams {
-		return dcqcn.Params{}, false, false, fmt.Errorf("ctrlrpc: tick answered with type %d, want params", typ)
+		return TickResult{}, fmt.Errorf("ctrlrpc: tick answered with type %d, want params", typ)
 	}
 	var resp ParamsMsg
 	if err := Decode(payload, &resp); err != nil {
-		return dcqcn.Params{}, false, false, err
+		return TickResult{}, err
 	}
-	return FromWire(resp.Params), resp.Changed, resp.Triggered, nil
+	return TickResult{
+		Params:    FromWire(resp.Params),
+		Epoch:     resp.Epoch,
+		Changed:   resp.Changed,
+		Triggered: resp.Triggered,
+	}, nil
+}
+
+// SendApplyAck reports that this agent applied (or idempotently
+// rejected) a dispatched epoch and waits for the controller's ack.
+func (c *Client) SendApplyAck(a AckMsg) error {
+	typ, _, err := c.roundTrip(TypeApplyAck, &a)
+	if err != nil {
+		return err
+	}
+	if typ != TypeAck {
+		return fmt.Errorf("ctrlrpc: apply-ack answered with type %d, want ack", typ)
+	}
+	return nil
 }

@@ -127,14 +127,14 @@ func TestServerReportAndTick(t *testing.T) {
 	if err := c.SendReport(elephantReport(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	p, _, triggered, err := c.Tick(1, time.Millisecond)
+	tick, err := c.Tick(1, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !triggered {
+	if !tick.Triggered {
 		t.Error("first interval with traffic did not trigger tuning")
 	}
-	if err := p.Validate(); err != nil {
+	if err := tick.Params.Validate(); err != nil {
 		t.Errorf("returned params invalid: %v", err)
 	}
 	st := s.Stats()
@@ -161,12 +161,15 @@ func TestServerSessionConverges(t *testing.T) {
 		if err := c.SendReport(elephantReport(1, seq)); err != nil {
 			t.Fatal(err)
 		}
-		_, changed, _, err := c.Tick(seq, time.Millisecond)
+		tick, err := c.Tick(seq, time.Millisecond)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if changed {
+		if tick.Changed {
 			changes++
+			if tick.Epoch != uint64(changes) {
+				t.Errorf("dispatch %d carried epoch %d", changes, tick.Epoch)
+			}
 		}
 	}
 	// quickServer's session is ~7 iterations; dispatches must have
@@ -203,7 +206,7 @@ func TestServerMultipleAgents(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if _, _, _, err := driver.Tick(seq, time.Millisecond); err != nil {
+		if _, err := driver.Tick(seq, time.Millisecond); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -36,6 +36,9 @@ const (
 	TypeTick byte = 3
 	// TypeParams answers a tick (controller → driver).
 	TypeParams byte = 4
+	// TypeApplyAck reports that an agent applied a dispatched epoch
+	// (agent → controller); answered with TypeAck.
+	TypeApplyAck byte = 5
 )
 
 // Report is one agent's contribution for one monitor interval: its local
@@ -80,11 +83,27 @@ type TickMsg struct {
 	IntervalNanos int64
 }
 
-// ParamsMsg answers a tick with the setting to dispatch.
+// ParamsMsg answers a tick with the setting to dispatch. Epoch is the
+// monotonically increasing number of the current vector: agents ACK
+// (epoch, vector-hash) after applying, and an agent that sees an epoch
+// at or below its own treats the frame as a duplicate — retries and
+// reordered deliveries are idempotent by construction.
 type ParamsMsg struct {
 	Changed   bool
 	Triggered bool
+	Epoch     uint64
 	Params    WireParams
+}
+
+// AckMsg is an agent's apply acknowledgement: the epoch it applied and
+// the hash of the vector it is now running (dispatch.VectorHash).
+// Applied is false when the frame was a duplicate or stale and the
+// agent kept what it had — the ACK then names that retained state.
+type AckMsg struct {
+	AgentID    uint32
+	Epoch      uint64
+	VectorHash uint64
+	Applied    bool
 }
 
 // WireParams is dcqcn.Params with fixed-width fields for binary encoding.

@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/dcqcn"
 	"repro/internal/telemetry"
 )
 
@@ -40,6 +39,11 @@ type ReconnClient struct {
 	MaxRetries int
 	BaseDelay  time.Duration
 	MaxDelay   time.Duration
+
+	// Timeout is copied onto every dialed Client: per-frame I/O
+	// deadlines so a stalled controller turns into a retriable error
+	// instead of a hang. 0 disables deadlines.
+	Timeout time.Duration
 
 	// Dial overrides how connections are established (fault injectors
 	// wrap the raw conn here); nil means the package Dial.
@@ -169,6 +173,7 @@ func (r *ReconnClient) redial() error {
 		c, err := r.dial()
 		if err == nil {
 			c.TM = r.TM
+			c.Timeout = r.Timeout
 			r.c = c
 			return nil
 		}
@@ -211,23 +216,46 @@ func (r *ReconnClient) SendReport(rep Report) error {
 }
 
 // Tick closes an interval, redialing once on failure.
-func (r *ReconnClient) Tick(seq uint64, interval time.Duration) (dcqcn.Params, bool, bool, error) {
+func (r *ReconnClient) Tick(seq uint64, interval time.Duration) (TickResult, error) {
 	if r.c == nil {
 		if err := r.redial(); err != nil {
-			return dcqcn.Params{}, false, false, err
+			return TickResult{}, err
 		}
 	}
 	r.c.TM = r.TM // TM may have been set after the initial dial
-	p, changed, trig, err := r.c.Tick(seq, interval)
+	r.c.Timeout = r.Timeout
+	res, err := r.c.Tick(seq, interval)
 	if err == nil {
-		return p, changed, trig, nil
+		return res, nil
 	}
 	if err := r.redial(); err != nil {
-		return dcqcn.Params{}, false, false, err
+		return TickResult{}, err
 	}
 	r.Reconnects++
 	if r.TM != nil {
 		r.TM.Reconnects.Inc()
 	}
 	return r.c.Tick(seq, interval)
+}
+
+// SendApplyAck reports an applied epoch, redialing once on failure.
+func (r *ReconnClient) SendApplyAck(a AckMsg) error {
+	if r.c == nil {
+		if err := r.redial(); err != nil {
+			return err
+		}
+	}
+	r.c.TM = r.TM // TM may have been set after the initial dial
+	r.c.Timeout = r.Timeout
+	if err := r.c.SendApplyAck(a); err == nil {
+		return nil
+	}
+	if err := r.redial(); err != nil {
+		return err
+	}
+	r.Reconnects++
+	if r.TM != nil {
+		r.TM.Reconnects.Inc()
+	}
+	return r.c.SendApplyAck(a)
 }

@@ -26,7 +26,7 @@ func TestReconnClientSurvivesControllerRestart(t *testing.T) {
 	if err := c.SendReport(elephantReport(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := c.Tick(1, time.Millisecond); err != nil {
+	if _, err := c.Tick(1, time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 
@@ -42,11 +42,11 @@ func TestReconnClientSurvivesControllerRestart(t *testing.T) {
 	if err := c.SendReport(elephantReport(1, 2)); err != nil {
 		t.Fatalf("report after restart: %v", err)
 	}
-	p, _, _, err := c.Tick(2, time.Millisecond)
+	tick, err := c.Tick(2, time.Millisecond)
 	if err != nil {
 		t.Fatalf("tick after restart: %v", err)
 	}
-	if err := p.Validate(); err != nil {
+	if err := tick.Params.Validate(); err != nil {
 		t.Errorf("params after restart invalid: %v", err)
 	}
 	if c.Reconnects == 0 {

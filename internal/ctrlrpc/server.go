@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dcqcn"
+	"repro/internal/dispatch"
+	"repro/internal/eventsim"
 	"repro/internal/monitor"
 	"repro/internal/telemetry"
 )
@@ -32,6 +34,20 @@ type ServerConfig struct {
 	// Telemetry selects the metrics registry the server instruments
 	// itself against; nil means telemetry.Default().
 	Telemetry *telemetry.Registry
+	// ReadTimeout and WriteTimeout, when > 0, bound each frame read and
+	// each response write on agent connections, so one stalled agent
+	// (half-open TCP, wedged peer) cannot pin a handler goroutine
+	// forever. 0 disables the deadline, matching the previous behaviour.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Guard bounds what tuner output is allowed onto the wire: Spec
+	// bounds and Kmin<Kmax are always enforced; MaxRelStep/MinGap are
+	// opt-in. A rejected vector keeps the current one and is counted.
+	Guard dispatch.GuardConfig
+	// WAL, when non-nil, journals every dispatched epoch so a restarted
+	// controller resumes from the last committed vector instead of
+	// re-announcing the base setting under already-used epochs.
+	WAL dispatch.WAL
 }
 
 // DefaultServerConfig mirrors Table III.
@@ -52,6 +68,10 @@ type ServerStats struct {
 	Ticks             int64
 	Triggers          int64
 	Dispatches        int64
+	// Rejects counts tuner outputs the admission guard refused.
+	Rejects int64
+	// ApplyAcks counts agent apply acknowledgements.
+	ApplyAcks int64
 	// Processing is wall-clock time spent in KL computation and SA
 	// tuning — the controller CPU overhead.
 	Processing time.Duration
@@ -71,7 +91,12 @@ type Server struct {
 	smoother monitor.Smoother
 	tuner    *core.Tuner
 	current  dcqcn.Params
-	stats    ServerStats
+	guard    *dispatch.Guard
+	epoch    uint64
+	// acks maps an epoch to the set of agents that acknowledged it with
+	// a matching vector hash. Only the current epoch's set is kept live.
+	acks  map[uint32]bool
+	stats ServerStats
 
 	wg     sync.WaitGroup
 	conns  map[net.Conn]bool
@@ -80,6 +105,7 @@ type Server struct {
 	reg *telemetry.Registry
 	tm  *telemetry.RPCMetrics
 	mm  *telemetry.MonitorMetrics
+	dm  *telemetry.DispatchMetrics
 }
 
 // controllerStatus is the server's /debug/status section.
@@ -89,6 +115,9 @@ type controllerStatus struct {
 	Reports     int64        `json:"reports"`
 	Triggers    int64        `json:"triggers"`
 	Dispatches  int64        `json:"dispatches"`
+	Rejects     int64        `json:"rejects"`
+	Epoch       uint64       `json:"epoch"`
+	EpochAcks   int          `json:"epoch_acks"`
 	TunerActive bool         `json:"tuner_active"`
 	BestUtility float64      `json:"best_utility"`
 }
@@ -104,14 +133,33 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, ln: ln, tuner: tuner, current: cfg.Base, conns: map[net.Conn]bool{}}
+	s := &Server{
+		cfg: cfg, ln: ln, tuner: tuner, current: cfg.Base,
+		guard: dispatch.NewGuard(cfg.Guard),
+		acks:  map[uint32]bool{},
+		conns: map[net.Conn]bool{},
+	}
 	s.reg = cfg.Telemetry
 	if s.reg == nil {
 		s.reg = telemetry.Default()
 	}
 	s.tm = telemetry.NewRPCMetrics(s.reg)
 	s.mm = telemetry.NewMonitorMetrics(s.reg)
+	s.dm = telemetry.NewDispatchMetrics(s.reg)
 	s.tuner.TM = telemetry.NewTunerMetrics(s.reg)
+	if cfg.WAL != nil {
+		rec, err := dispatch.Recover(cfg.WAL)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("ctrlrpc: wal replay: %w", err)
+		}
+		s.epoch = rec.Epoch
+		if rec.Committed != nil {
+			s.current = *rec.Committed
+		}
+		s.dm.WALReplays.Inc()
+		s.dm.WALReplayedRec.Add(int64(rec.Replayed))
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -194,6 +242,9 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		typ, payload, n, err := ReadFrame(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -208,6 +259,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.tm.BytesIn.Add(int64(n))
 
 		var out int
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		switch typ {
 		case TypeReport:
 			var r Report
@@ -229,6 +283,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			resp := s.tick(t)
 			out, err = WriteFrame(bw, TypeParams, &resp)
+		case TypeApplyAck:
+			var a AckMsg
+			if err := Decode(payload, &a); err != nil {
+				s.logf("ctrlrpc: bad apply-ack: %v", err)
+				return
+			}
+			s.applyAck(a)
+			out, err = WriteFrame(bw, TypeAck, nil)
 		default:
 			s.logf("ctrlrpc: unknown frame type %d", typ)
 			return
@@ -264,6 +326,9 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 			Reports:     s.stats.Reports,
 			Triggers:    s.stats.Triggers,
 			Dispatches:  s.stats.Dispatches,
+			Rejects:     s.stats.Rejects,
+			Epoch:       s.epoch,
+			EpochAcks:   len(s.acks),
 			TunerActive: s.tuner.Active(),
 			BestUtility: s.tuner.BestUtility(),
 		})
@@ -298,7 +363,7 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 	}
 
 	raw := monitor.Aggregate(locals...)
-	resp := ParamsMsg{Params: ToWire(s.current)}
+	resp := ParamsMsg{Epoch: s.epoch, Params: ToWire(s.current)}
 	if raw.TotalBytes == 0 {
 		// Traffic-free interval: no distribution to compare, no feedback
 		// worth feeding the search (see monitor.Controller.Tick).
@@ -331,14 +396,66 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 	s.hasPrev = true
 
 	if p, ok := s.tuner.Step(sample, fsd); ok {
-		s.current = p
-		s.stats.Dispatches++
-		s.tuner.TM.Dispatches.Inc()
-		resp.Changed = true
-		resp.Params = ToWire(p)
+		if reason, spec := s.guard.Admit(&p, &s.current, eventsim.Time(time.Now().UnixNano())); reason != dispatch.RejectNone {
+			// A vector the guard refuses never reaches the wire: the
+			// fabric keeps running s.current under the unchanged epoch.
+			s.stats.Rejects++
+			s.dm.Rejects.Inc()
+			s.logf("ctrlrpc: dispatch rejected: %s", s.guard.Explain(reason, spec))
+		} else {
+			s.epoch++
+			s.current = p
+			s.acks = map[uint32]bool{}
+			s.stats.Dispatches++
+			s.tuner.TM.Dispatches.Inc()
+			s.dm.Epochs.Inc()
+			resp.Changed = true
+			resp.Epoch = s.epoch
+			resp.Params = ToWire(p)
+			if s.cfg.WAL != nil {
+				rec := dispatch.Record{
+					T: time.Now().UnixNano(), Kind: dispatch.KindCommit,
+					Epoch: s.epoch, Params: &p, Hash: dispatch.VectorHash(&p),
+				}
+				if err := s.cfg.WAL.Append(rec); err != nil {
+					s.logf("ctrlrpc: wal append: %v", err)
+				} else {
+					s.dm.WALRecords.Inc()
+				}
+			}
+		}
 	}
 	resp.Triggered = triggered
 	return resp
+}
+
+// applyAck records an agent's acknowledgement of the current epoch. An
+// ACK for a superseded epoch, or one whose vector hash does not match
+// the current vector, is counted but not credited toward the quorum —
+// the agent will learn the newer vector on its next tick.
+func (s *Server) applyAck(a AckMsg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.ApplyAcks++
+	s.dm.Acks.Inc()
+	if a.Epoch == s.epoch && a.VectorHash == dispatch.VectorHash(&s.current) {
+		s.acks[a.AgentID] = true
+	}
+}
+
+// Epoch returns the epoch of the currently dispatched vector.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// EpochAcks returns how many distinct agents have acknowledged the
+// current epoch with a matching vector hash.
+func (s *Server) EpochAcks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.acks)
 }
 
 // String describes the server.

@@ -1,0 +1,32 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+)
+
+// BenchmarkDispatchPlan pins the per-dispatch admission cost: one full
+// guardrail validation (bounds, ECN ordering, relative step, rate
+// limit) plus the vector fingerprint every ACK is matched against.
+// This runs on every tuner step, so it must stay allocation-free —
+// benchjson.py gates allocs/op at zero.
+func BenchmarkDispatchPlan(b *testing.B) {
+	g := NewGuard(GuardConfig{MaxRelStep: 0.8, MinGap: eventsim.Microsecond})
+	live := dcqcn.DefaultParams()
+	cand := dcqcn.ExpertParams()
+	now := eventsim.Time(0)
+	var sink uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 2 * eventsim.Microsecond
+		if r, _ := g.Admit(&cand, &live, now); r == RejectNone {
+			sink ^= VectorHash(&cand)
+		}
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

@@ -1,0 +1,128 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/dcqcn"
+	"repro/internal/eventsim"
+)
+
+func TestGuardAdmitsDefaults(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	p := dcqcn.DefaultParams()
+	if r, _ := g.Admit(&p, &p, 0); r != RejectNone {
+		t.Fatalf("default vector rejected: %v", r)
+	}
+	q := dcqcn.ExpertParams()
+	if r, _ := g.Admit(&q, &p, 0); r != RejectNone {
+		t.Fatalf("expert vector rejected: %v", r)
+	}
+	if g.Admitted != 2 || g.Rejects() != 0 {
+		t.Fatalf("admitted=%d rejects=%d, want 2/0", g.Admitted, g.Rejects())
+	}
+}
+
+func TestGuardRejectsBounds(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	live := dcqcn.DefaultParams()
+	bad := live
+	bad.PMax = 1.5 // pmax spec max is 1
+	r, spec := g.Admit(&bad, &live, 0)
+	if r != RejectBounds {
+		t.Fatalf("reason = %v, want RejectBounds", r)
+	}
+	if got := g.Explain(r, spec); got != "bounds (pmax)" {
+		t.Fatalf("Explain = %q", got)
+	}
+	bad = live
+	bad.AIRateBps = 0.5e6 // below ai_rate min 1e6
+	if r, _ := g.Admit(&bad, &live, 0); r != RejectBounds {
+		t.Fatalf("reason = %v, want RejectBounds", r)
+	}
+	if g.Rejected[RejectBounds] != 2 {
+		t.Fatalf("bounds rejects = %d, want 2", g.Rejected[RejectBounds])
+	}
+}
+
+func TestGuardRejectsECNOrder(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	live := dcqcn.DefaultParams()
+	bad := live
+	// Both thresholds individually in range but inverted.
+	bad.KminBytes = 2000 << 10
+	bad.KmaxBytes = 1000 << 10
+	if r, _ := g.Admit(&bad, &live, 0); r != RejectOrder {
+		t.Fatalf("reason = %v, want RejectOrder", r)
+	}
+}
+
+func TestGuardRejectsRelStep(t *testing.T) {
+	g := NewGuard(GuardConfig{MaxRelStep: 0.5})
+	live := dcqcn.DefaultParams()
+	big := live
+	big.AIRateBps = live.AIRateBps * 4 // 300% jump > 50%
+	r, spec := g.Admit(&big, &live, 0)
+	if r != RejectStep {
+		t.Fatalf("reason = %v, want RejectStep", r)
+	}
+	if got := g.Explain(r, spec); got != "rel_step (ai_rate)" {
+		t.Fatalf("Explain = %q", got)
+	}
+	small := live
+	small.AIRateBps = live.AIRateBps * 1.4
+	if r, _ := g.Admit(&small, &live, 0); r != RejectNone {
+		t.Fatalf("40%% step rejected: %v", r)
+	}
+}
+
+func TestGuardRateLimit(t *testing.T) {
+	g := NewGuard(GuardConfig{MinGap: eventsim.Millisecond})
+	p := dcqcn.DefaultParams()
+	if r, _ := g.Admit(&p, &p, 0); r != RejectNone {
+		t.Fatalf("first dispatch rejected: %v", r)
+	}
+	if r, _ := g.Admit(&p, &p, eventsim.Millisecond/2); r != RejectRate {
+		t.Fatalf("reason = %v, want RejectRate", r)
+	}
+	if r, _ := g.Admit(&p, &p, 2*eventsim.Millisecond); r != RejectNone {
+		t.Fatalf("post-gap dispatch rejected: %v", r)
+	}
+}
+
+func TestVectorHash(t *testing.T) {
+	p := dcqcn.DefaultParams()
+	q := dcqcn.DefaultParams()
+	if VectorHash(&p) != VectorHash(&q) {
+		t.Fatal("equal vectors hash differently")
+	}
+	q.KminBytes++
+	if VectorHash(&p) == VectorHash(&q) {
+		t.Fatal("one-byte Kmin change did not change the hash")
+	}
+	// Every field must feed the hash.
+	muts := []func(*dcqcn.Params){
+		func(p *dcqcn.Params) { p.AIRateBps *= 2 },
+		func(p *dcqcn.Params) { p.HAIRateBps *= 2 },
+		func(p *dcqcn.Params) { p.RPGTimeReset *= 2 },
+		func(p *dcqcn.Params) { p.RPGByteReset *= 2 },
+		func(p *dcqcn.Params) { p.RPGThreshold++ },
+		func(p *dcqcn.Params) { p.RateReduceMonitorPeriod *= 2 },
+		func(p *dcqcn.Params) { p.MinRateBps *= 2 },
+		func(p *dcqcn.Params) { p.ClampTgtRate = !p.ClampTgtRate },
+		func(p *dcqcn.Params) { p.G *= 2 },
+		func(p *dcqcn.Params) { p.AlphaUpdateInterval *= 2 },
+		func(p *dcqcn.Params) { p.InitialAlpha /= 2 },
+		func(p *dcqcn.Params) { p.MinTimeBetweenCNPs *= 2 },
+		func(p *dcqcn.Params) { p.KminBytes *= 2 },
+		func(p *dcqcn.Params) { p.KmaxBytes *= 2 },
+		func(p *dcqcn.Params) { p.PMax /= 2 },
+	}
+	base := VectorHash(&p)
+	for i, mut := range muts {
+		q := p
+		mut(&q)
+		if VectorHash(&q) == base {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package dispatch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/dcqcn"
+)
+
+// WAL record kinds. A rollout writes intent first, then one phase record
+// per transition, then exactly one of commit or abort. Epoch grants that
+// bypass the plan machinery (SA exploration dispatches, rollback
+// restores) write an epoch record so a recovered controller never
+// re-issues an epoch number some device has already seen.
+const (
+	KindIntent = "intent"
+	KindPhase  = "phase"
+	KindCommit = "commit"
+	KindAbort  = "abort"
+	KindEpoch  = "epoch"
+)
+
+// Record is one write-ahead log entry. T is virtual time (engine
+// nanoseconds) — the log must replay identically across restarts, so it
+// carries no wall-clock timestamps.
+type Record struct {
+	T     int64  `json:"t"`
+	Kind  string `json:"kind"`
+	Epoch uint64 `json:"epoch"`
+	// Phase names the phase being entered (KindPhase records).
+	Phase string `json:"phase,omitempty"`
+	// Params is the full target vector (KindIntent and KindCommit
+	// records; epoch grants log only the hash).
+	Params *dcqcn.Params `json:"params,omitempty"`
+	Hash   uint64        `json:"hash,omitempty"`
+	// Canary is the canary device count of the plan (KindIntent).
+	Canary int `json:"canary,omitempty"`
+	// Reason annotates aborts and restore-commits.
+	Reason string `json:"reason,omitempty"`
+}
+
+// WAL is the journal the pipeline writes through. Append must be
+// durable before it returns (to the WAL's own durability level: a
+// MemWAL survives a simulated controller restart, a FileWAL survives a
+// process one). Replay returns every record in append order.
+type WAL interface {
+	Append(Record) error
+	Replay() ([]Record, error)
+}
+
+// MemWAL is the in-memory journal used by simulations: the harness
+// holds it across a simulated controller kill/restart, exactly as a
+// file would survive a daemon crash.
+type MemWAL struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Append adds r to the log.
+func (w *MemWAL) Append(r Record) error {
+	w.mu.Lock()
+	w.recs = append(w.recs, r)
+	w.mu.Unlock()
+	return nil
+}
+
+// Replay returns a copy of the log in append order.
+func (w *MemWAL) Replay() ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, len(w.recs))
+	copy(out, w.recs)
+	return out, nil
+}
+
+// Len reports the number of records appended so far.
+func (w *MemWAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.recs)
+}
+
+// FileWAL is the file-backed journal for daemon deployments: one JSON
+// record per line, synced on every append. Dispatch is a per-interval
+// (millisecond-scale) control-plane event, so an fsync per record is
+// cheap insurance against exactly the crash the log exists for.
+type FileWAL struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenFileWAL opens (creating if needed) the journal at path in append
+// mode. Existing records are preserved; Replay reads them.
+func OpenFileWAL(path string) (*FileWAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: open wal: %w", err)
+	}
+	return &FileWAL{path: path, f: f}, nil
+}
+
+// Append writes r as one JSON line and syncs it to stable storage.
+func (w *FileWAL) Append(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("dispatch: wal encode: %w", err)
+	}
+	b = append(b, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("dispatch: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("dispatch: wal sync: %w", err)
+	}
+	return nil
+}
+
+// Replay reads every record currently in the journal. A trailing
+// partial line (torn write from a crash mid-append) is skipped, not an
+// error: the record it would have been was by definition not durable.
+func (w *FileWAL) Replay() ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, err := os.Open(w.path)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: wal replay: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// Torn tail: stop at the first undecodable line.
+			break
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dispatch: wal replay: %w", err)
+	}
+	return recs, nil
+}
+
+// Close releases the journal file.
+func (w *FileWAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Recovery is what a restarted controller learns from its journal.
+type Recovery struct {
+	// Epoch is the highest epoch number granted before the crash; the
+	// recovered controller resumes numbering strictly above it.
+	Epoch uint64
+	// Committed is the last vector that fully committed (nil if none
+	// ever did), with its epoch.
+	Committed      *dcqcn.Params
+	CommittedEpoch uint64
+	// InFlight is the intent of a rollout that neither committed nor
+	// aborted — the crash caught it mid-flight — along with the last
+	// phase it was known to have entered.
+	InFlight      *Record
+	InFlightPhase string
+	// Replayed counts records read.
+	Replayed int
+}
+
+// Recover replays w and folds it into the state a restarting controller
+// needs: where epoch numbering left off, what the fabric last agreed
+// on, and whether a rollout was orphaned mid-flight.
+func Recover(w WAL) (Recovery, error) {
+	recs, err := w.Replay()
+	if err != nil {
+		return Recovery{}, err
+	}
+	var rec Recovery
+	rec.Replayed = len(recs)
+	for i := range recs {
+		r := &recs[i]
+		if r.Epoch > rec.Epoch {
+			rec.Epoch = r.Epoch
+		}
+		switch r.Kind {
+		case KindIntent:
+			rc := *r
+			rec.InFlight = &rc
+			rec.InFlightPhase = ""
+		case KindPhase:
+			if rec.InFlight != nil && r.Epoch == rec.InFlight.Epoch {
+				rec.InFlightPhase = r.Phase
+			}
+		case KindCommit:
+			if r.Params != nil {
+				p := *r.Params
+				rec.Committed = &p
+				rec.CommittedEpoch = r.Epoch
+			}
+			if rec.InFlight != nil && r.Epoch == rec.InFlight.Epoch {
+				rec.InFlight = nil
+				rec.InFlightPhase = ""
+			}
+		case KindAbort:
+			if rec.InFlight != nil && r.Epoch == rec.InFlight.Epoch {
+				rec.InFlight = nil
+				rec.InFlightPhase = ""
+			}
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,161 @@
+package dispatch
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dcqcn"
+)
+
+func TestMemWALRoundTrip(t *testing.T) {
+	w := &MemWAL{}
+	p := dcqcn.DefaultParams()
+	recs := []Record{
+		{T: 1, Kind: KindIntent, Epoch: 3, Params: &p, Hash: VectorHash(&p), Canary: 1},
+		{T: 2, Kind: KindPhase, Epoch: 3, Phase: "canary"},
+		{T: 3, Kind: KindCommit, Epoch: 3, Params: &p, Hash: VectorHash(&p)},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := w.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Kind != recs[i].Kind || got[i].Epoch != recs[i].Epoch {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFileWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dispatch.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dcqcn.DefaultParams()
+	if err := w.Append(Record{T: 1, Kind: KindIntent, Epoch: 7, Params: &p, Hash: VectorHash(&p)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{T: 2, Kind: KindAbort, Epoch: 7, Phase: "canary", Reason: "health_pfc"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Reopen, as a restarted daemon would.
+	w2, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, err := w2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != KindIntent || got[1].Reason != "health_pfc" {
+		t.Fatalf("replay = %+v", got)
+	}
+	if got[0].Params == nil || got[0].Params.KminBytes != p.KminBytes {
+		t.Fatalf("intent params did not survive the file round trip: %+v", got[0].Params)
+	}
+}
+
+func TestFileWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dispatch.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{T: 1, Kind: KindEpoch, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Simulate a crash mid-append: a torn, undecodable trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":2,"kind":"int`)
+	f.Close()
+
+	w2, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, err := w2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Epoch != 1 {
+		t.Fatalf("torn tail not skipped: %+v", got)
+	}
+}
+
+func TestRecoverFolding(t *testing.T) {
+	p := dcqcn.DefaultParams()
+	q := dcqcn.ExpertParams()
+
+	t.Run("clean_commit", func(t *testing.T) {
+		w := &MemWAL{}
+		w.Append(Record{T: 1, Kind: KindIntent, Epoch: 1, Params: &p})
+		w.Append(Record{T: 2, Kind: KindPhase, Epoch: 1, Phase: "canary"})
+		w.Append(Record{T: 3, Kind: KindCommit, Epoch: 1, Params: &p})
+		rec, err := Recover(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.InFlight != nil {
+			t.Fatalf("committed rollout reported in flight: %+v", rec.InFlight)
+		}
+		if rec.Epoch != 1 || rec.CommittedEpoch != 1 || rec.Committed == nil {
+			t.Fatalf("recovery = %+v", rec)
+		}
+	})
+
+	t.Run("orphaned_mid_settle", func(t *testing.T) {
+		w := &MemWAL{}
+		w.Append(Record{T: 1, Kind: KindCommit, Epoch: 2, Params: &p})
+		w.Append(Record{T: 2, Kind: KindIntent, Epoch: 5, Params: &q})
+		w.Append(Record{T: 3, Kind: KindPhase, Epoch: 5, Phase: "canary"})
+		w.Append(Record{T: 4, Kind: KindPhase, Epoch: 5, Phase: "settle"})
+		rec, err := Recover(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.InFlight == nil || rec.InFlight.Epoch != 5 || rec.InFlightPhase != "settle" {
+			t.Fatalf("orphan not detected: %+v", rec)
+		}
+		if rec.Epoch != 5 {
+			t.Fatalf("epoch = %d, want 5", rec.Epoch)
+		}
+		if rec.Committed == nil || rec.Committed.KminBytes != p.KminBytes || rec.CommittedEpoch != 2 {
+			t.Fatalf("committed = %+v @%d", rec.Committed, rec.CommittedEpoch)
+		}
+	})
+
+	t.Run("aborted_is_not_in_flight", func(t *testing.T) {
+		w := &MemWAL{}
+		w.Append(Record{T: 1, Kind: KindIntent, Epoch: 3, Params: &q})
+		w.Append(Record{T: 2, Kind: KindAbort, Epoch: 3, Reason: "ack_timeout"})
+		w.Append(Record{T: 3, Kind: KindEpoch, Epoch: 4})
+		rec, err := Recover(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.InFlight != nil {
+			t.Fatalf("aborted rollout reported in flight")
+		}
+		if rec.Epoch != 4 {
+			t.Fatalf("epoch = %d, want 4 (epoch grants count)", rec.Epoch)
+		}
+	})
+}

@@ -491,11 +491,11 @@ func ChaosCtrlPartition(scale Scale, duration eventsim.Time, seed int64) (*Chaos
 			tpSum += us
 			tpLinks += links
 		}
-		params, changed, _, err := driver.Tick(uint64(seq), time.Duration(interval))
+		tick, err := driver.Tick(uint64(seq), time.Duration(interval))
 		if err != nil {
 			res.TickErrors++
-		} else if changed {
-			n.ApplyParams(params)
+		} else if tick.Changed {
+			n.ApplyParams(tick.Params)
 			res.Dispatches++
 		}
 		tp := 0.0

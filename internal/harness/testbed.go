@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctrlrpc"
+	"repro/internal/dispatch"
 	"repro/internal/eventsim"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
@@ -229,14 +230,23 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 			rttN += rc
 		}
 		beforeIn := driver.BytesIn
-		params, changed, _, err := driver.Tick(uint64(seq), time.Duration(cfg.Interval))
+		tick, err := driver.Tick(uint64(seq), time.Duration(cfg.Interval))
 		if err != nil {
 			return nil, fmt.Errorf("testbed: tick: %w", err)
 		}
 		res.ParamsBytes = int(driver.BytesIn - beforeIn)
-		if changed {
-			n.ApplyParams(params)
+		if tick.Changed {
+			n.ApplyParams(tick.Params)
 			res.Dispatches++
+			// Every agent confirms the applied (epoch, vector-hash) so the
+			// controller's quorum view covers the whole fabric.
+			hash := dispatch.VectorHash(&tick.Params)
+			for i := range clients {
+				ack := ctrlrpc.AckMsg{AgentID: uint32(i), Epoch: tick.Epoch, VectorHash: hash, Applied: true}
+				if err := clients[i].SendApplyAck(ack); err != nil {
+					return nil, fmt.Errorf("testbed: apply-ack: %w", err)
+				}
+			}
 		}
 		tp := 0.0
 		if tpLinks > 0 {

@@ -33,6 +33,7 @@ ZERO_ALLOC = [
     "BenchmarkSchedule ",
     "BenchmarkSketchInsert",
     "BenchmarkPortForward",
+    "BenchmarkDispatchPlan",
 ]
 
 LINE = re.compile(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$")
