@@ -27,6 +27,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
+	"repro/internal/tuner"
 )
 
 type experiment struct {
@@ -233,6 +234,14 @@ func experiments() []experiment {
 			r.Fprint(out)
 			return closeTrace()
 		}},
+		{"tuner-shootout", "every tuning strategy raced across alltoall, incast, and chaos-linkflap", func(s harness.Scale, h eventsim.Time) error {
+			r, err := harness.TunerShootout(s, h, chaosSeed)
+			if err != nil {
+				return err
+			}
+			r.Fprint(out)
+			return nil
+		}},
 	}
 }
 
@@ -256,8 +265,16 @@ func validateFlags(exp string, workers int, horizon time.Duration, set map[strin
 	if set["chaos-trace"] && exp == "all" {
 		return fmt.Errorf("-chaos-trace cannot be combined with -exp all: each chaos experiment would overwrite the trace file; pick one chaos-* experiment")
 	}
-	if (set["chaos-seed"] || set["chaos-trace"]) && exp != "all" && !isChaos {
-		return fmt.Errorf("-chaos-seed and -chaos-trace only apply to chaos-* experiments, not %q", exp)
+	// tuner-shootout embeds the chaos-linkflap scenario, so it accepts a
+	// scenario seed too (but not a trace destination).
+	if set["chaos-seed"] && exp != "all" && !isChaos && exp != "tuner-shootout" {
+		return fmt.Errorf("-chaos-seed only applies to chaos-* experiments and tuner-shootout, not %q", exp)
+	}
+	if set["chaos-trace"] && exp != "all" && !isChaos {
+		return fmt.Errorf("-chaos-trace only applies to chaos-* experiments, not %q", exp)
+	}
+	if set["tuner"] && exp == "tuner-shootout" {
+		return fmt.Errorf("-tuner does not apply to tuner-shootout: it always races every registered strategy")
 	}
 	return nil
 }
@@ -271,6 +288,7 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment arms run in parallel (0 = all CPUs, 1 = sequential)")
 	progress := flag.Bool("progress", false, "print per-arm completion progress to stderr")
 	shards := flag.Int("shards", 0, "run the fabric sharded across this many engines (0 = single-engine; clamped to the ToR count)")
+	tunerName := flag.String("tuner", "", "tuning strategy for Paraleon arms: "+strings.Join(tuner.Names(), " | ")+" (default sa)")
 	seed := flag.Int64("chaos-seed", 1, "fault scenario seed for chaos-* experiments")
 	ctrace := flag.String("chaos-trace", "", "file for the chaos experiments' JSONL event trace")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/status and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
@@ -282,6 +300,17 @@ func main() {
 	if err := validateFlags(*exp, *workers, *horizon, set); err != nil {
 		fmt.Fprintf(os.Stderr, "paraleon-sim: %v\n", err)
 		os.Exit(2)
+	}
+	if *tunerName != "" {
+		known := false
+		for _, n := range tuner.Names() {
+			known = known || n == *tunerName
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "paraleon-sim: -tuner: unknown strategy %q (have %s)\n",
+				*tunerName, strings.Join(tuner.Names(), ", "))
+			os.Exit(2)
+		}
 	}
 	csvDir = *csv
 	chaosSeed = *seed
@@ -348,6 +377,7 @@ func main() {
 	}
 	scale.Workers = *workers
 	scale.Net.Shards = *shards
+	scale.Net.Tuner = *tunerName
 	if *progress {
 		scale.Progress = func(st harness.ArmStatus) {
 			status := "ok"

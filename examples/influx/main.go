@@ -78,5 +78,5 @@ func main() {
 		}
 	}
 	fmt.Printf("\nKL triggers: %d, tuning sessions completed: %d, parameter dispatches: %d\n",
-		sys.Controller.Triggers, sys.Tuner.Rounds, sys.Dispatches)
+		sys.Controller.Triggers, sys.Tuner.Stats().Sessions, sys.Dispatches)
 }

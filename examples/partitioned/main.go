@@ -54,7 +54,7 @@ func main() {
 	fmt.Println("partitioned tuning: one controller per rack, 80ms of opposite workloads")
 	for i, s := range systems {
 		fmt.Printf("cluster %d: triggers=%d sessions=%d dispatches=%d  TP=%.3f RTTnorm=%.3f\n",
-			i, s.Controller.Triggers, s.Tuner.Rounds, s.Dispatches,
+			i, s.Controller.Triggers, s.Tuner.Stats().Sessions, s.Dispatches,
 			s.LastSample.OTP, s.LastSample.ORTT)
 	}
 	p0 := net.SwitchParams(tors[0])

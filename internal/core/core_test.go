@@ -9,6 +9,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/tuner"
 )
 
 func TestWeights(t *testing.T) {
@@ -226,100 +227,9 @@ func TestTunerBestParamsMatchBestUtility(t *testing.T) {
 	}
 }
 
-func TestGuidedMutationFollowsDominantType(t *testing.T) {
-	// With elephant-dominant traffic (μ=0.9 → exploit 0.8), hai_rate
-	// (throughput direction: increment) must increase in ~80% of
-	// mutations; with mice dominance it must decrease similarly.
-	count := func(fsd monitor.FSD) (up, down int) {
-		tu, _ := NewTuner(quickSA(), DefaultWeights(), dcqcn.DefaultParams(), 7)
-		tu.Trigger(fsd)
-		base := dcqcn.DefaultParams()
-		for i := 0; i < 400; i++ {
-			m := tu.mutate(base)
-			if m.HAIRateBps > base.HAIRateBps {
-				up++
-			} else if m.HAIRateBps < base.HAIRateBps {
-				down++
-			}
-		}
-		return up, down
-	}
-	up, down := count(elephantFSD())
-	if up <= down*2 {
-		t.Errorf("elephant-dominant: hai_rate up %d vs down %d, want strong up bias", up, down)
-	}
-	up, down = count(miceFSD())
-	if down <= up*2 {
-		t.Errorf("mice-dominant: hai_rate up %d vs down %d, want strong down bias", up, down)
-	}
-}
-
-func TestNaiveMutationUnbiased(t *testing.T) {
-	cfg := quickSA()
-	cfg.Guided = false
-	tu, _ := NewTuner(cfg, DefaultWeights(), dcqcn.DefaultParams(), 7)
-	tu.Trigger(elephantFSD())
-	base := dcqcn.DefaultParams()
-	up, down := 0, 0
-	for i := 0; i < 600; i++ {
-		m := tu.mutate(base)
-		if m.HAIRateBps > base.HAIRateBps {
-			up++
-		} else if m.HAIRateBps < base.HAIRateBps {
-			down++
-		}
-	}
-	ratio := float64(up) / float64(up+down)
-	if ratio < 0.4 || ratio > 0.6 {
-		t.Errorf("naive mutation bias %g, want ≈0.5", ratio)
-	}
-}
-
-func TestMutationRespectsEta(t *testing.T) {
-	// Even with μ=1.0 (pure elephants), η=0.8 forces ≥20% anti-dominant
-	// exploration.
-	var r monitor.Report
-	r.Hist[12] = 1000
-	r.ElephantBytes = 1000
-	r.ElephantFlowsW = 5
-	fsd := monitor.Aggregate(r)
-	tu, _ := NewTuner(quickSA(), DefaultWeights(), dcqcn.DefaultParams(), 9)
-	tu.Trigger(fsd)
-	base := dcqcn.DefaultParams()
-	down := 0
-	const n = 1000
-	for i := 0; i < n; i++ {
-		if m := tu.mutate(base); m.HAIRateBps < base.HAIRateBps {
-			down++
-		}
-	}
-	frac := float64(down) / n
-	if frac < 0.12 || frac > 0.30 {
-		t.Errorf("anti-dominant fraction %g, want ≈0.2 (1−η)", frac)
-	}
-}
-
-func TestQuickMutationAlwaysValid(t *testing.T) {
-	tu, _ := NewTuner(quickSA(), DefaultWeights(), dcqcn.DefaultParams(), 11)
-	f := func(elephant bool, seed int64) bool {
-		if elephant {
-			tu.Trigger(elephantFSD())
-		} else {
-			tu.Trigger(miceFSD())
-		}
-		p := dcqcn.DefaultParams()
-		for i := 0; i < 50; i++ {
-			p = tu.mutate(p)
-			if p.Validate() != nil {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
-		t.Error(err)
-	}
-}
+// The mutation-operator tests (guided bias, η exploration floor, naive
+// ablation, validity under composition) moved to internal/tuner with the
+// operator itself; see internal/tuner/sa_test.go.
 
 func TestTunerRejectsBadInputs(t *testing.T) {
 	if _, err := NewTuner(SAConfig{}, DefaultWeights(), dcqcn.DefaultParams(), 1); err == nil {
@@ -394,7 +304,7 @@ func TestSystemSessionCompletes(t *testing.T) {
 	}
 	// Session needs ≈7 intervals (quickSA) plus trigger latency.
 	n.Run(30 * eventsim.Millisecond)
-	if s.Tuner.Rounds == 0 {
+	if s.Tuner.Stats().Sessions == 0 {
 		t.Error("tuning session never completed")
 	}
 	if s.Tuner.Active() {
@@ -425,6 +335,91 @@ func TestPretrain(t *testing.T) {
 	}
 	if err := p.Validate(); err != nil {
 		t.Errorf("pretrained params invalid: %v", err)
+	}
+}
+
+func TestSystemTunerSelection(t *testing.T) {
+	for _, name := range []string{"", "sa", "bandit", "multiecn"} {
+		n, err := sim.New(sim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quickSystem()
+		cfg.Tuner = name
+		s, err := Attach(n, cfg)
+		if err != nil {
+			t.Fatalf("Attach(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "sa"
+		}
+		if got := s.Tuner.Name(); got != want {
+			t.Errorf("cfg.Tuner=%q built strategy %q", name, got)
+		}
+	}
+	// The network's sim.Config carries the selection when the system
+	// config leaves it open.
+	nc := sim.DefaultConfig()
+	nc.Tuner = "bandit"
+	n, err := sim.New(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Attach(n, quickSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tuner.Name(); got != "bandit" {
+		t.Errorf("sim.Config.Tuner=bandit built strategy %q", got)
+	}
+	if _, err := Attach(n, func() SystemConfig { c := quickSystem(); c.Tuner = "nope"; return c }()); err == nil {
+		t.Error("unknown strategy name accepted")
+	}
+}
+
+// rogueTuner proposes a misordered vector (Kmin >= Kmax) every step; the
+// System's guard must refuse to push it onto the fabric.
+type rogueTuner struct {
+	tuner.Tuner
+	active bool
+}
+
+func (r *rogueTuner) Trigger(monitor.FSD) { r.active = true }
+func (r *rogueTuner) Active() bool        { return r.active }
+func (r *rogueTuner) Step(monitor.RuntimeSample, monitor.FSD) (dcqcn.Params, bool) {
+	p := dcqcn.DefaultParams()
+	p.KminBytes, p.KmaxBytes = p.KmaxBytes, p.KminBytes
+	return p, true
+}
+
+func TestSystemGuardRejectsRogueProposals(t *testing.T) {
+	base, _ := tuner.New("sa", tuner.Config{
+		Weights: DefaultWeights(), Base: dcqcn.DefaultParams(), SA: quickSA(),
+	}, 1)
+	n, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Attach(n, quickSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tuner = &rogueTuner{Tuner: base}
+	before := *n.RNICParams()
+	s.Start()
+	hosts := n.Topo.Hosts()
+	n.StartFlow(hosts[1], hosts[0], 64<<20)
+	s.TriggerNow()
+	n.Run(10 * eventsim.Millisecond)
+	if s.GuardRejects == 0 {
+		t.Fatal("guard admitted misordered Kmin >= Kmax proposals")
+	}
+	if s.Dispatches != 0 {
+		t.Errorf("%d rogue proposals dispatched", s.Dispatches)
+	}
+	if *n.RNICParams() != before {
+		t.Error("rogue proposal reached the fabric")
 	}
 }
 

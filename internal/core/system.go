@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/tuner"
 )
 
 // SystemConfig wires a full Paraleon deployment onto a simulated network.
@@ -20,8 +21,18 @@ type SystemConfig struct {
 	Theta float64
 	// Weights parameterize the utility function.
 	Weights Weights
-	// SA parameterizes the search.
+	// Tuner selects the search strategy by registry name ("sa",
+	// "multiecn", "bandit"; see internal/tuner). Empty falls back to the
+	// network's sim.Config.Tuner, then to "sa" — the default, whose
+	// behaviour is byte-identical to the pre-pluggable loop.
+	Tuner string
+	// SA parameterizes the "sa" search strategy.
 	SA SAConfig
+	// Bandit and MultiECN parameterize the respective strategies; zero
+	// values mean their defaults. MultiECN.Agents defaults to the
+	// deployment's scope size (one agent per ToR).
+	Bandit   tuner.BanditConfig
+	MultiECN tuner.MultiECNConfig
 	// Agent selects the measurement design (Paraleon vs naive Elastic).
 	Agent monitor.AgentConfig
 	// ProbeEvery is the RTT probing period; 0 means Interval/4.
@@ -88,7 +99,7 @@ func DefaultSystemConfig() SystemConfig {
 // parameters are dispatched to every RNIC and switch.
 type System struct {
 	Net        *sim.Network
-	Tuner      *Tuner
+	Tuner      tuner.Tuner
 	Controller *monitor.Controller
 	Collector  *monitor.RuntimeCollector
 	Agents     []*monitor.SwitchAgent
@@ -97,8 +108,20 @@ type System struct {
 	probe    eventsim.Time
 	tickEv   eventsim.EventID
 	running  bool
+	weights  Weights
 	// scope, when non-nil, restricts dispatch to these ToRs' clusters.
 	scope []topology.NodeID
+	// torScope is the resolved ToR list (scope, or every ToR): agent i of
+	// a per-switch strategy owns torScope[i].
+	torScope []topology.NodeID
+	// guard bounds-checks every proposal on the legacy direct-apply path
+	// and every per-switch override, so no strategy — in-tree or
+	// registered by a caller — can push an out-of-spec or misordered
+	// (Kmin >= Kmax) vector onto the fabric. The pipeline path carries
+	// its own, stricter guard.
+	guard *dispatch.Guard
+	// GuardRejects counts proposals the loop's guard refused.
+	GuardRejects int
 
 	// Dispatches counts parameter updates pushed to the network;
 	// LastSample is the most recent runtime measurement.
@@ -165,6 +188,7 @@ type TraceSink interface {
 type LoopStatus struct {
 	VirtualTimeNs int64        `json:"virtual_time_ns"`
 	Params        dcqcn.Params `json:"params"`
+	Tuner         string       `json:"tuner"`
 	Frozen        bool         `json:"frozen"`
 	Degraded      bool         `json:"degraded"`
 	PresentAgents int          `json:"present_agents"`
@@ -188,17 +212,39 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("core: non-positive monitor interval")
 	}
-	tuner, err := NewTuner(cfg.SA, cfg.Weights, *net.RNICParams(), cfg.Seed)
+	// Scope resolves before the tuner is built: a per-switch strategy
+	// sizes its agent set to the deployment's ToR count.
+	scope := cfg.Scope
+	if scope == nil {
+		scope = net.Topo.ToRs()
+	}
+	strategy := cfg.Tuner
+	if strategy == "" {
+		strategy = net.Config().Tuner
+	}
+	mcfg := cfg.MultiECN
+	if mcfg.Agents == 0 {
+		mcfg.Agents = len(scope)
+	}
+	tun, err := tuner.New(strategy, tuner.Config{
+		Weights:  cfg.Weights,
+		Base:     *net.RNICParams(),
+		SA:       cfg.SA,
+		Bandit:   cfg.Bandit,
+		MultiECN: mcfg,
+	}, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{
 		Net:      net,
-		Tuner:    tuner,
+		Tuner:    tun,
 		interval: cfg.Interval,
 		probe:    cfg.ProbeEvery,
+		weights:  cfg.Weights,
 		degrade:  cfg.Degrade,
 		current:  *net.RNICParams(),
+		guard:    dispatch.NewGuard(dispatch.GuardConfig{}),
 	}
 	if s.probe <= 0 {
 		s.probe = cfg.Interval / 4
@@ -208,14 +254,11 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 		s.reg = telemetry.Default()
 	}
 	s.TM = telemetry.NewTunerMetrics(s.reg)
-	s.Tuner.TM = s.TM
+	s.Tuner.SetMetrics(s.TM)
 	s.vtime = telemetry.VirtualTime(s.reg)
 
-	scope := cfg.Scope
-	if scope == nil {
-		scope = net.Topo.ToRs()
-	}
 	s.scope = cfg.Scope
+	s.torScope = scope
 	sources := cfg.Sources
 	if sources == nil {
 		sketchTM := telemetry.NewSketchMetrics(s.reg)
@@ -300,7 +343,9 @@ func (s *System) beginSession(fsd monitor.FSD) {
 			// Restarted mid-session (TriggerNow): close the old span.
 			s.Trace.SpanEnd(s.sessionSpan)
 		}
-		s.sessionSpan = s.Trace.SpanStart("sa_session", 0)
+		// "sa_session" for the default strategy, matching the historical
+		// trace vocabulary (and the recorded goldens) byte-for-byte.
+		s.sessionSpan = s.Trace.SpanStart(s.Tuner.Name()+"_session", 0)
 		s.Trace.TriggerIn(s.sessionSpan, fsd)
 	}
 	s.sessionStart = s.Net.Eng.Now()
@@ -382,7 +427,7 @@ func (s *System) tick() {
 	fsd := s.Controller.Tick()
 	sample := s.Collector.Sample(s.interval)
 	s.LastSample = sample
-	util := Utility(sample, s.Tuner.weights)
+	util := Utility(sample, s.weights)
 	s.UtilityTrace = append(s.UtilityTrace, util)
 	now := s.Net.Eng.Now()
 	s.vtime.Set(float64(now))
@@ -418,6 +463,12 @@ func (s *System) tick() {
 			KL:        s.Controller.LastKL,
 		}, now)
 	}
+	// Per-switch strategies see this interval's per-agent reports before
+	// they step; agent i's slice is the report from torScope[i]'s switch.
+	ps, perSwitch := s.Tuner.(tuner.PerSwitch)
+	if perSwitch {
+		ps.ObserveLocals(s.Controller.Locals)
+	}
 	wasActive := s.Tuner.Active()
 	if p, ok := s.Tuner.Step(sample, fsd); ok {
 		final := wasActive && !s.Tuner.Active()
@@ -434,10 +485,23 @@ func (s *System) tick() {
 					s.current = p
 				}
 			}
+		} else if rej, _ := s.guard.Admit(&p, &s.current, now); rej != dispatch.RejectNone {
+			// Legacy direct-apply path: the loop's own guard refuses any
+			// strategy proposal that is out of spec bounds or misordered.
+			// ("sa" proposals are clamped and repaired by construction, so
+			// this check never fires on the default path — the goldens are
+			// untouched.)
+			applied = false
+			s.GuardRejects++
+			s.TM.GuardRejects.Inc()
 		} else {
 			s.apply(p)
 		}
 		if applied {
+			s.Tuner.Commit(p)
+			if perSwitch {
+				s.applyLocalProposals(ps, now)
+			}
 			s.Dispatches++
 			s.TM.Dispatches.Inc()
 			s.TM.DispatchLatencyMs.Observe(float64(now-s.sessionStart) / 1e6)
@@ -459,6 +523,34 @@ func (s *System) tick() {
 	}
 }
 
+// applyLocalProposals overlays a per-switch strategy's local ECN
+// proposals on top of the fabric-wide dispatch: agent i's (Kmin, Kmax,
+// Pmax) goes to torScope[i]'s switch, after the same guard check every
+// fabric-wide proposal passes (the trio substituted into the live
+// vector, so bounds and Kmin<Kmax ordering hold per switch). While a
+// canary rollout plan is in flight the pipeline owns the fabric and
+// per-switch overrides are withheld — a half-converted fabric must stay
+// exactly as the plan's epoch stamped it.
+func (s *System) applyLocalProposals(ps tuner.PerSwitch, now eventsim.Time) {
+	if s.Dispatch != nil && s.Dispatch.InFlight() {
+		return
+	}
+	for _, pr := range ps.LocalProposals() {
+		if pr.Agent < 0 || pr.Agent >= len(s.torScope) {
+			continue
+		}
+		cand := s.current
+		cand.KminBytes, cand.KmaxBytes, cand.PMax = pr.KminBytes, pr.KmaxBytes, pr.PMax
+		if rej, _ := s.guard.Admit(&cand, &s.current, now); rej != dispatch.RejectNone {
+			s.GuardRejects++
+			s.TM.GuardRejects.Inc()
+			continue
+		}
+		s.Net.ApplySwitchECN(s.torScope[pr.Agent], pr.KminBytes, pr.KmaxBytes, pr.PMax)
+		ps.AgentCommitted(pr.Agent)
+	}
+}
+
 // publishStatus pushes the loop's state snapshot into the registry, where
 // the /debug/status endpoint and -report summaries read it. Push (rather
 // than letting HTTP handlers poll the System) keeps the single-threaded
@@ -470,20 +562,26 @@ func (s *System) publishStatus(now eventsim.Time) {
 		phase = s.Dispatch.Phase().String()
 		epoch = s.Dispatch.Epoch()
 	}
+	var temp float64
+	if td, ok := s.Tuner.(tuner.Temperatured); ok {
+		temp = td.Temperature()
+	}
+	st := s.Tuner.Stats()
 	s.reg.PublishStatus("control_loop", LoopStatus{
 		VirtualTimeNs: int64(now),
 		Params:        s.current,
+		Tuner:         s.Tuner.Name(),
 		Frozen:        s.Controller.Frozen,
 		Degraded:      s.Controller.Degraded,
 		PresentAgents: s.Controller.PresentAgents,
 		Triggers:      s.Controller.Triggers,
 		LastKL:        s.Controller.LastKL,
 		TunerActive:   s.Tuner.Active(),
-		Temperature:   s.Tuner.Temperature(),
+		Temperature:   temp,
 		BestUtility:   s.Tuner.BestUtility(),
-		Iterations:    s.Tuner.Steps,
-		Sessions:      s.Tuner.Rounds,
-		Aborts:        s.Tuner.Aborts,
+		Iterations:    st.Steps,
+		Sessions:      st.Sessions,
+		Aborts:        st.Aborts,
 		Dispatches:    s.Dispatches,
 		Rollbacks:     s.Rollbacks,
 		DispatchPhase: phase,

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/splitmix"
 	"repro/internal/telemetry"
 )
 
@@ -94,24 +95,16 @@ func (r *ReconnClient) SeedBackoff(seed int64) {
 // thundering herd the jitter exists to break.
 var reconnSeq atomic.Uint64
 
-// splitmix64 is the SplitMix64 finalizer: one atomic counter in, well-
-// distributed seeds out, so consecutive clients don't start their backoff
-// streams near each other.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 // fallbackSeed derives the jitter seed for a client that never called
-// SeedBackoff: the address hash mixed with a process-wide counter.
+// SeedBackoff: the address hash mixed with a process-wide counter, put
+// through one SplitMix64 step so consecutive clients don't start their
+// backoff streams near each other.
 func fallbackSeed(addr string) int64 {
 	var h uint64
 	for _, b := range []byte(addr) {
 		h = h*131 + uint64(b)
 	}
-	return int64(splitmix64(h + reconnSeq.Add(1)))
+	return int64(splitmix.Next(h + reconnSeq.Add(1)))
 }
 
 // backoffDelay returns the pause before dial attempt k (k ≥ 1):

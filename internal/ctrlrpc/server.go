@@ -16,6 +16,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/monitor"
 	"repro/internal/telemetry"
+	"repro/internal/tuner"
 )
 
 // ServerConfig parameterizes the centralized controller.
@@ -25,6 +26,13 @@ type ServerConfig struct {
 	// Weights and SA configure the tuner.
 	Weights core.Weights
 	SA      core.SAConfig
+	// Tuner selects the search strategy by registry name (see
+	// internal/tuner); empty means "sa", preserving the historical
+	// behaviour exactly. Bandit and MultiECN parameterize those
+	// strategies when selected; zero values mean their defaults.
+	Tuner    string
+	Bandit   tuner.BanditConfig
+	MultiECN tuner.MultiECNConfig
 	// Base is the initial parameter setting.
 	Base dcqcn.Params
 	// Seed fixes the tuner's randomness.
@@ -89,7 +97,7 @@ type Server struct {
 	prev     monitor.FSD
 	hasPrev  bool
 	smoother monitor.Smoother
-	tuner    *core.Tuner
+	tuner    tuner.Tuner
 	current  dcqcn.Params
 	guard    *dispatch.Guard
 	epoch    uint64
@@ -106,6 +114,7 @@ type Server struct {
 	tm  *telemetry.RPCMetrics
 	mm  *telemetry.MonitorMetrics
 	dm  *telemetry.DispatchMetrics
+	ttm *telemetry.TunerMetrics
 }
 
 // controllerStatus is the server's /debug/status section.
@@ -125,7 +134,13 @@ type controllerStatus struct {
 // Serve starts a controller on addr (e.g. "127.0.0.1:0") and returns once
 // it is listening.
 func Serve(addr string, cfg ServerConfig) (*Server, error) {
-	tuner, err := core.NewTuner(cfg.SA, cfg.Weights, cfg.Base, cfg.Seed)
+	tun, err := tuner.New(cfg.Tuner, tuner.Config{
+		Weights:  cfg.Weights,
+		Base:     cfg.Base,
+		SA:       cfg.SA,
+		Bandit:   cfg.Bandit,
+		MultiECN: cfg.MultiECN,
+	}, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +149,7 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg: cfg, ln: ln, tuner: tuner, current: cfg.Base,
+		cfg: cfg, ln: ln, tuner: tun, current: cfg.Base,
 		guard: dispatch.NewGuard(cfg.Guard),
 		acks:  map[uint32]bool{},
 		conns: map[net.Conn]bool{},
@@ -146,7 +161,8 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	s.tm = telemetry.NewRPCMetrics(s.reg)
 	s.mm = telemetry.NewMonitorMetrics(s.reg)
 	s.dm = telemetry.NewDispatchMetrics(s.reg)
-	s.tuner.TM = telemetry.NewTunerMetrics(s.reg)
+	s.ttm = telemetry.NewTunerMetrics(s.reg)
+	s.tuner.SetMetrics(s.ttm)
 	if cfg.WAL != nil {
 		rec, err := dispatch.Recover(cfg.WAL)
 		if err != nil {
@@ -401,13 +417,15 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 			// fabric keeps running s.current under the unchanged epoch.
 			s.stats.Rejects++
 			s.dm.Rejects.Inc()
+			s.ttm.GuardRejects.Inc()
 			s.logf("ctrlrpc: dispatch rejected: %s", s.guard.Explain(reason, spec))
 		} else {
 			s.epoch++
 			s.current = p
 			s.acks = map[uint32]bool{}
 			s.stats.Dispatches++
-			s.tuner.TM.Dispatches.Inc()
+			s.tuner.Commit(p)
+			s.ttm.Dispatches.Inc()
 			s.dm.Epochs.Inc()
 			resp.Changed = true
 			resp.Epoch = s.epoch

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/dcqcn"
 	"repro/internal/eventsim"
+	"repro/internal/splitmix"
 )
 
 // RejectReason classifies why the guard refused a candidate vector.
@@ -177,11 +178,7 @@ func (g *Guard) Rejects() int {
 // an ACK can name the exact vector it applied and a retried frame with
 // a different payload is detectable.
 func hashMix(h, v uint64) uint64 {
-	h ^= v
-	h += 0x9e3779b97f4a7c15
-	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
-	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
-	return h ^ (h >> 31)
+	return splitmix.Fold(h, v)
 }
 
 // VectorHash fingerprints a parameter vector deterministically and

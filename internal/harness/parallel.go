@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/splitmix"
 )
 
 // ParallelOptions controls how RunAll spreads experiment arms over
@@ -43,15 +45,11 @@ type ArmStatus struct {
 }
 
 // DeriveArmSeed maps a base seed and an arm index to the arm's engine
-// seed via a SplitMix64 round. It depends only on its arguments, so seeds
-// are stable across runs, worker counts, and completion order.
+// seed via a SplitMix64 round (splitmix.Derive). It depends only on its
+// arguments, so seeds are stable across runs, worker counts, and
+// completion order.
 func DeriveArmSeed(base int64, arm int) int64 {
-	z := uint64(base) + uint64(arm+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	// Keep seeds positive so they read naturally in logs and configs.
-	return int64(z &^ (1 << 63))
+	return splitmix.Derive(base, arm)
 }
 
 // RunAll executes every arm of a sweep, concurrently up to opts.Workers,

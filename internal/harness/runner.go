@@ -304,8 +304,8 @@ func Run(cfg RunConfig) (*Result, error) {
 	if sys != nil {
 		res.Triggers = sys.Controller.Triggers
 		res.Dispatches = sys.Dispatches
-		res.Rounds = sys.Tuner.Rounds
-		res.UtilTrace = append(res.UtilTrace, sys.Tuner.Trace...)
+		res.Rounds = sys.Tuner.Stats().Sessions
+		res.UtilTrace = append(res.UtilTrace, sys.Tuner.BestTrace()...)
 	}
 	return res, nil
 }

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/eventsim"
+)
+
+func TestTunerShootoutRunsAllCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-arm simulation in -short mode")
+	}
+	r, err := TunerShootout(QuickScale(), 30*eventsim.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tuners) < 3 {
+		t.Fatalf("shootout raced %v, want the three in-tree strategies", r.Tuners)
+	}
+	for _, wl := range r.Workloads {
+		for _, tun := range r.Tuners {
+			c := r.Cell(tun, wl)
+			if c.Tuner != tun || c.Workload != wl {
+				t.Fatalf("missing cell (%s, %s)", tun, wl)
+			}
+			if math.IsNaN(c.MeanUtility) || c.MeanUtility <= 0 {
+				t.Errorf("(%s, %s): mean utility %g, want > 0", tun, wl, c.MeanUtility)
+			}
+			if math.IsNaN(c.PauseFrac) || c.PauseFrac < 0 || c.PauseFrac > 1 {
+				t.Errorf("(%s, %s): pause fraction %g out of [0,1]", tun, wl, c.PauseFrac)
+			}
+			if wl != "chaos-linkflap" && c.Dispatches == 0 {
+				t.Errorf("(%s, %s): no dispatches — strategy never ran", tun, wl)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	for _, tun := range r.Tuners {
+		if !strings.Contains(out, tun) {
+			t.Errorf("report omits %s:\n%s", tun, out)
+		}
+	}
+}
+
+// TestTunerShootoutDeterministic pins the acceptance bar: identical
+// (scale, horizon, seed) must reproduce the full table, and — per the
+// sharding determinism contract (sim.Config.Shards) — any shard count
+// ≥ 1 must produce the same table as any other. (Shards = 0 is the
+// legacy single-engine path, which the contract allows to differ from
+// the sharded schedule; reruns of it must still match themselves.)
+func TestTunerShootoutDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-arm simulation in -short mode")
+	}
+	run := func(shards int) *TunerShootoutResult {
+		sc := QuickScale()
+		sc.Net.Shards = shards
+		r, err := TunerShootout(sc, 20*eventsim.Millisecond, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	legacyA, legacyB := run(0), run(0)
+	for key, ca := range legacyA.Cells {
+		if cb := legacyB.Cells[key]; ca != cb {
+			t.Errorf("rerun diverged at %s:\n%+v\n%+v", key, ca, cb)
+		}
+	}
+	one, four := run(1), run(4)
+	for key, c1 := range one.Cells {
+		if c4 := four.Cells[key]; c1 != c4 {
+			t.Errorf("shard count changed %s:\n%+v\n%+v", key, c1, c4)
+		}
+	}
+}

@@ -95,12 +95,12 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	}
 	exposition := sb.String()
 	for metric, wantActive := range map[string]bool{
-		"paraleon_sketch_inserts_total":   true,
-		"paraleon_sketch_reads_total":     true,
-		"paraleon_monitor_ticks_total":    true,
-		"paraleon_monitor_triggers_total": true,
-		"paraleon_tuner_iterations_total": true,
-		"paraleon_tuner_dispatches_total": true,
+		"paraleon_sketch_inserts_total":    true,
+		"paraleon_sketch_reads_total":      true,
+		"paraleon_monitor_ticks_total":     true,
+		"paraleon_monitor_triggers_total":  true,
+		"paraleon_tuner_iterations_total":  true,
+		"paraleon_tuner_dispatches_total":  true,
 		"paraleon_ctrlrpc_frames_in_total": true,
 		"paraleon_ctrlrpc_reports_total":   true,
 		"paraleon_chaos_faults_total":      true,

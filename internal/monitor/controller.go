@@ -64,6 +64,11 @@ type Controller struct {
 	// the latest single-interval snapshot.
 	Current FSD
 	Raw     FSD
+	// Locals retains the most recent interval's per-agent reports,
+	// aligned with Agents (a zero Report for absent or evicted agents).
+	// Per-switch tuning strategies consume each ToR's slice separately;
+	// the network-wide aggregation above is unaffected.
+	Locals []Report
 	// Ticks and Triggers count intervals and trigger firings.
 	Ticks    int
 	Triggers int
@@ -119,6 +124,12 @@ func (c *Controller) gather() (locals []Report, present, members int) {
 	if c.missed == nil {
 		c.missed = make([]int, len(c.Agents))
 		c.evicted = make([]bool, len(c.Agents))
+	}
+	if len(c.Locals) != len(c.Agents) {
+		c.Locals = make([]Report, len(c.Agents))
+	}
+	for i := range c.Locals {
+		c.Locals[i] = Report{}
 	}
 	for i, a := range c.Agents {
 		alive := true

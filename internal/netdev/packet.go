@@ -15,6 +15,7 @@ package netdev
 
 import (
 	"repro/internal/eventsim"
+	"repro/internal/splitmix"
 	"repro/internal/topology"
 )
 
@@ -209,8 +210,5 @@ type Device interface {
 // avalanche), used to pick among equal-cost next hops so a flow sticks to
 // one path.
 func ecmpHash(flow uint64, salt uint64) uint64 {
-	z := flow + salt + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return splitmix.Next(flow + salt)
 }

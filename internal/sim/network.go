@@ -29,6 +29,12 @@ type Config struct {
 	Seed int64
 	// MTU overrides the data payload per packet when > 0.
 	MTU int
+	// Tuner names the search strategy a control loop attached to this
+	// network should use when its own config leaves the choice open
+	// (see internal/tuner; empty means "sa"). The network itself never
+	// reads it — it rides here so harnesses and RPC servers that build
+	// deployments from a sim.Config inherit the selection.
+	Tuner string
 	// Shards, when > 0, runs the fabric sharded: the topology is
 	// partitioned by ToR pod into up to Shards shards, each driven by its
 	// own engine on its own goroutine under conservative time windows

@@ -12,6 +12,8 @@ package sketch
 
 import (
 	"slices"
+
+	"repro/internal/splitmix"
 )
 
 // Config sizes a sketch instance.
@@ -82,28 +84,22 @@ func New(cfg Config, seed uint64) *Sketch {
 		seeds: make([]uint64, 2),
 	}
 	for i := range s.seeds {
-		seed = mix(seed + 0x9e3779b97f4a7c15)
+		seed = splitmix.Next(seed)
 		s.seeds[i] = seed
 	}
 	return s
 }
 
-func mix(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
 func (s *Sketch) heavyIndex(flow uint64) int {
-	return int(mix(flow^s.seeds[0]) % uint64(len(s.heavy)))
+	return int(splitmix.Mix(flow^s.seeds[0]) % uint64(len(s.heavy)))
 }
 
-// lightHashes derives every Light Part row's column from one base mix()
+// lightHashes derives every Light Part row's column from one base avalanche
 // via double hashing: row r probes column (h1 + r·h2) mod width. One
 // avalanche per Insert instead of LightRows of them; h2 is forced odd so
 // the probe stride never degenerates for power-of-two widths.
 func (s *Sketch) lightHashes(flow uint64) (h1, h2 uint64) {
-	base := mix(flow ^ s.seeds[1])
+	base := splitmix.Mix(flow ^ s.seeds[1])
 	return base, (base >> 32) | 1
 }
 

@@ -1,0 +1,49 @@
+// Package splitmix is the repository's single home for the SplitMix64
+// mixing primitives. Five subsystems need a fast, deterministic, well-
+// distributed 64-bit mix — sketch row hashing, ECMP path selection,
+// dispatch vector fingerprints, reconnect-jitter seeding, and per-arm /
+// per-agent RNG stream derivation — and each used to carry a private
+// copy of the same constants. One copy means one place to audit the
+// constants and one guarantee that derived streams never collide across
+// subsystems by construction drift.
+//
+// All helpers are pure functions of their arguments: no process state,
+// no allocation, safe for concurrent use.
+package splitmix
+
+// Golden is the SplitMix64 increment (the 64-bit golden ratio).
+const Golden uint64 = 0x9e3779b97f4a7c15
+
+// Mix is the SplitMix64 finalizer: a full-avalanche bijection over
+// uint64 (Steele, Lea & Flood 2014, as in Java's SplittableRandom).
+func Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Next advances a SplitMix64 state by one step and finalizes it:
+// Mix(x + Golden). Chaining seed = Next(seed) walks the generator's
+// output sequence.
+func Next(x uint64) uint64 {
+	return Mix(x + Golden)
+}
+
+// Fold absorbs one word into a running hash: Next(h ^ v). Used by the
+// dispatch vector fingerprint, where each parameter word perturbs the
+// state before the avalanche so any single-field change flips the hash.
+func Fold(h, v uint64) uint64 {
+	return Next(h ^ v)
+}
+
+// Derive maps a base seed and a stream index to an independent,
+// non-negative RNG seed: Mix(base + (stream+1)·Golden) with the sign
+// bit cleared so derived seeds read naturally in logs and configs. It
+// is a pure function of its arguments — never of scheduling — so
+// stream i of a run is reproducible regardless of worker count or
+// completion order. Harness experiment arms and multiecn per-agent
+// streams both draw from it.
+func Derive(base int64, stream int) int64 {
+	z := Mix(uint64(base) + uint64(stream+1)*Golden)
+	return int64(z &^ (1 << 63))
+}

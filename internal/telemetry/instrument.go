@@ -19,13 +19,13 @@ const (
 // read / reset activity and Ostracism evictions, accumulated at
 // interval granularity so the per-packet path stays untouched.
 type SketchMetrics struct {
-	Inserts   *Counter // sketch insert operations (≈ packets recorded)
-	Bytes     *Counter // bytes credited to flows
-	Evictions *Counter // Ostracism replacements
-	Reads     *Counter // interval-end heavy-part reads
-	Resets    *Counter // interval-end resets
-	Skipped   *Counter // packets declined by the insert-once rule
-	HeavyFlows *Gauge  // heavy-part residents at the last read
+	Inserts    *Counter // sketch insert operations (≈ packets recorded)
+	Bytes      *Counter // bytes credited to flows
+	Evictions  *Counter // Ostracism replacements
+	Reads      *Counter // interval-end heavy-part reads
+	Resets     *Counter // interval-end resets
+	Skipped    *Counter // packets declined by the insert-once rule
+	HeavyFlows *Gauge   // heavy-part residents at the last read
 }
 
 // NewSketchMetrics resolves the sketch family set from r.
@@ -79,9 +79,11 @@ func NewMonitorMetrics(r *Registry) *MonitorMetrics {
 	}
 }
 
-// TunerMetrics covers the SA search and the dispatch path: iteration /
-// acceptance counts, session lifecycle, best utility, and
-// virtual-time-denominated dispatch latencies.
+// TunerMetrics covers the pluggable search strategies and the dispatch
+// path: proposal / iteration / acceptance counts, session lifecycle,
+// best utility, bandit regret, per-agent commits, and
+// virtual-time-denominated dispatch latencies. One bundle serves every
+// strategy; gauges a strategy does not drive simply stay put.
 type TunerMetrics struct {
 	Iterations *Counter
 	Accepts    *Counter
@@ -90,10 +92,20 @@ type TunerMetrics struct {
 	Aborts     *Counter
 	Dispatches *Counter
 	Rollbacks  *Counter
+	// Proposals counts vectors the strategy handed out for dispatch;
+	// GuardRejects counts proposals the admission guard refused before
+	// they touched the fabric; AgentCommits counts per-switch local ECN
+	// commits (the multiecn strategy).
+	Proposals    *Counter
+	GuardRejects *Counter
+	AgentCommits *Counter
 
 	Active      *Gauge
 	Temperature *Gauge
 	BestUtility *Gauge
+	// Regret accumulates the bandit strategy's shortfall against the
+	// best reward seen so far.
+	Regret *Gauge
 
 	// DispatchLatencyMs measures trigger→dispatch in virtual
 	// milliseconds for every dispatch of a session; SettleMs measures
@@ -112,9 +124,13 @@ func NewTunerMetrics(r *Registry) *TunerMetrics {
 		Aborts:            r.Counter("paraleon_tuner_aborts_total", "Tuning sessions aborted."),
 		Dispatches:        r.Counter("paraleon_tuner_dispatches_total", "Parameter vectors dispatched to the fabric."),
 		Rollbacks:         r.Counter("paraleon_tuner_rollbacks_total", "Reversion dispatches to the last-known-good vector."),
+		Proposals:         r.Counter("paraleon_tuner_proposals_total", "Parameter vectors proposed by the search strategy."),
+		GuardRejects:      r.Counter("paraleon_tuner_guard_rejects_total", "Proposals refused by the dispatch admission guard."),
+		AgentCommits:      r.Counter("paraleon_tuner_agent_commits_total", "Per-switch local ECN commits (multiecn strategy)."),
 		Active:            r.Gauge("paraleon_tuner_active", "1 while a tuning session is in progress."),
 		Temperature:       r.Gauge("paraleon_tuner_temperature", "Current annealing temperature."),
 		BestUtility:       r.Gauge("paraleon_tuner_best_utility", "Best utility found in the current or last session (0-100 scale)."),
+		Regret:            r.Gauge("paraleon_tuner_regret", "Cumulative reward shortfall vs best-seen (bandit strategy)."),
 		DispatchLatencyMs: r.Histogram("paraleon_tuner_dispatch_latency_ms", "Trigger-to-dispatch latency in virtual milliseconds.", BucketsLatencyMs),
 		SettleMs:          r.Histogram("paraleon_tuner_settle_ms", "Trigger-to-session-completion latency in virtual milliseconds.", BucketsLatencyMs),
 	}

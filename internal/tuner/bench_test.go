@@ -1,0 +1,47 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/dcqcn"
+	"repro/internal/monitor"
+)
+
+// BenchmarkTunerStep measures one search iteration per strategy. The CI
+// perf gate (scripts/benchjson.py) requires 0 allocs/op: Step sits on
+// the per-interval control path, and the strategies keep scratch
+// buffers (SA/Bandit mutation vectors, MultiECN's proposal slice) so the
+// steady state allocates nothing.
+func BenchmarkTunerStep(b *testing.B) {
+	for _, name := range []string{"sa", "bandit", "multiecn"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{
+				Weights:  DefaultWeights(),
+				Base:     dcqcn.DefaultParams(),
+				SA:       ShortSAConfig(),
+				Bandit:   BanditConfig{Budget: 60},
+				MultiECN: MultiECNConfig{Agents: 8, Budget: 60},
+			}
+			tu, err := New(name, cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fsd := elephantFSD()
+			sample := monitor.RuntimeSample{OTP: 0.5, ORTT: 0.6, OPFC: 0.99}
+			// One full warmup session lets trace/proposal slices reach
+			// their steady-state capacity.
+			tu.Trigger(fsd)
+			for tu.Active() {
+				tu.Step(sample, fsd)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !tu.Active() {
+					tu.Trigger(fsd)
+				}
+				tu.Step(sample, fsd)
+			}
+		})
+	}
+}

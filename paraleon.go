@@ -19,7 +19,8 @@
 //	sim       – wiring it into a runnable network
 //	sketch    – Elastic Sketch
 //	monitor   – ternary flow states, FSD aggregation, KL trigger
-//	core      – utility function and the improved SA tuner
+//	core      – utility function and the tuning control loop
+//	tuner     – pluggable strategies: guided SA, multi-agent ECN, bandit
 //	baselines – ACC, DCQCN+, NetFlow
 //	workload  – FB_Hadoop / SolarRPC / alltoall generators
 //	metrics   – slowdowns, CDFs, time series
@@ -37,6 +38,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 )
 
@@ -86,6 +88,25 @@ type (
 
 // SAConfig parameterizes the annealing search.
 type SAConfig = core.SAConfig
+
+// Tuner is the pluggable search-strategy interface; every registered
+// strategy (sa, multiecn, bandit) satisfies it. TunerConfig carries the
+// per-strategy knobs; BanditConfig and MultiECNConfig parameterize the
+// two alternatives to SA. Select a strategy by name via
+// SystemConfig.Tuner or NetworkConfig.Tuner.
+type (
+	Tuner          = tuner.Tuner
+	TunerConfig    = tuner.Config
+	BanditConfig   = tuner.BanditConfig
+	MultiECNConfig = tuner.MultiECNConfig
+)
+
+// NewTuner builds a registered strategy by name ("" selects sa);
+// TunerNames lists the registry.
+var (
+	NewTuner   = tuner.New
+	TunerNames = tuner.Names
+)
 
 // Attach wires Paraleon onto a network; DefaultSystemConfig is Table III.
 // ShortSAConfig compresses the SA schedule for short runs.

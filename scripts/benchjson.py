@@ -34,6 +34,7 @@ ZERO_ALLOC = [
     "BenchmarkSketchInsert",
     "BenchmarkPortForward",
     "BenchmarkDispatchPlan",
+    "BenchmarkTunerStep",
 ]
 
 LINE = re.compile(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$")
