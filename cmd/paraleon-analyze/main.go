@@ -1,0 +1,79 @@
+// Command paraleon-analyze inspects flight-recorder black-box
+// artifacts written by paraleon-sim -blackbox, paraleon-controller
+// -blackbox, or the harness.
+//
+// Usage:
+//
+//	paraleon-analyze summary RUN.json          # percentiles + sparklines
+//	paraleon-analyze diff [-tol 0.1] A.json B.json
+//
+// summary renders the run's anomaly timeline, every recorded series
+// with min/mean/max/p50/p95/p99 and an ASCII sparkline, and the
+// embedded histogram quantiles.
+//
+// diff compares two runs (two seeds, two tuners, before/after a code
+// change) signal by signal and ends with a machine-checkable verdict
+// line; the exit status is 1 when any judged signal regressed, so CI
+// can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry/series"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  paraleon-analyze summary RUN.json
+  paraleon-analyze diff [-tol FRAC] A.json B.json
+`)
+	os.Exit(2)
+}
+
+func load(path string) *series.Artifact {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paraleon-analyze: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	a, err := series.Load(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paraleon-analyze: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return a
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "summary":
+		fs := flag.NewFlagSet("summary", flag.ExitOnError)
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			usage()
+		}
+		series.WriteSummary(os.Stdout, load(fs.Arg(0)))
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		tol := fs.Float64("tol", 0.1, "relative tolerance before a judged signal counts as a regression")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		a, b := load(fs.Arg(0)), load(fs.Arg(1))
+		d := series.Diff(a, b, *tol)
+		series.WriteDiff(os.Stdout, a, b, d)
+		if !d.Clean() {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}

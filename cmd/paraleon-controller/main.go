@@ -22,6 +22,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/eventsim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/series"
 	"repro/internal/tuner"
 )
 
@@ -39,6 +40,7 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log file; a restarted controller resumes the last dispatched vector and epoch from it")
 	maxRelStep := flag.Float64("max-rel-step", 0, "guardrail: max per-parameter relative step per dispatch (0 disables)")
 	minGap := flag.Duration("min-gap", 0, "guardrail: minimum time between admitted dispatches (0 disables)")
+	blackbox := flag.String("blackbox", "", "flight-recorder artifact written on shutdown (read with paraleon-analyze)")
 	flag.Parse()
 
 	var telemetrySrv *telemetry.HTTPServer
@@ -81,6 +83,14 @@ func main() {
 		defer wal.Close()
 		cfg.WAL = wal
 	}
+	var flight *series.Recorder
+	if *blackbox != "" {
+		flight = series.NewRecorder(series.Meta{
+			Experiment: "controller",
+			Seed:       *seed,
+		})
+		cfg.Flight = flight
+	}
 
 	srv, err := ctrlrpc.Serve(*addr, cfg)
 	if err != nil {
@@ -112,6 +122,20 @@ func main() {
 				st.Reports, st.Ticks, st.Triggers, st.Dispatches, st.Rejects, srv.Epoch(), st.ApplyAcks,
 				st.BytesIn, st.BytesOut, st.Processing.Round(time.Microsecond))
 			srv.Close()
+			if flight != nil {
+				// The daemon has no virtual clock; the artifact's time
+				// axis is the tick index, so EndT is the final tick.
+				f, err := os.Create(*blackbox)
+				if err != nil {
+					log.Printf("blackbox: %v", err)
+				} else {
+					if err := flight.WriteArtifact(f, st.Ticks, telemetry.Default()); err != nil {
+						log.Printf("blackbox: %v", err)
+					}
+					f.Close()
+					fmt.Printf("blackbox: wrote %s\n", *blackbox)
+				}
+			}
 			if telemetrySrv != nil {
 				shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 				telemetrySrv.Shutdown(shutCtx)

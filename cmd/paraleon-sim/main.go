@@ -41,19 +41,33 @@ type experiment struct {
 var csvDir string
 
 // chaosSeed drives the chaos-* experiments' fault scenarios; chaosTrace,
-// when set via -chaos-trace, receives their JSON Lines event trace.
+// when set via -chaos-trace, receives their JSON Lines event trace;
+// blackboxPath, when set via -blackbox, receives their flight-recorder
+// artifact. scaleLabel names the -scale choice for artifact meta.
 var (
-	chaosSeed  int64
-	chaosTrace string
+	chaosSeed    int64
+	chaosTrace   string
+	blackboxPath string
+	scaleLabel   string
 )
 
 // chaosTraceWriter opens the -chaos-trace destination, or returns a nil
 // writer when tracing is off.
 func chaosTraceWriter() (io.Writer, func() error, error) {
-	if chaosTrace == "" {
+	return optionalFile(chaosTrace)
+}
+
+// blackboxWriter opens the -blackbox destination, or returns a nil
+// writer when the flight recorder is off.
+func blackboxWriter() (io.Writer, func() error, error) {
+	return optionalFile(blackboxPath)
+}
+
+func optionalFile(path string) (io.Writer, func() error, error) {
+	if path == "" {
 		return nil, func() error { return nil }, nil
 	}
-	f, err := os.Create(chaosTrace)
+	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -195,24 +209,42 @@ func experiments() []experiment {
 			if err != nil {
 				return err
 			}
-			r, err := harness.ChaosLinkFlap(s, h, chaosSeed, w)
+			bb, closeBB, err := blackboxWriter()
+			if err != nil {
+				return err
+			}
+			cfg := harness.ChaosLinkFlapConfig(s, h, chaosSeed, w)
+			cfg.Blackbox, cfg.ScaleLabel = bb, scaleLabel
+			r, err := harness.RunChaos(cfg)
 			if err != nil {
 				return err
 			}
 			r.Fprint(out)
-			return closeTrace()
+			if err := closeTrace(); err != nil {
+				return err
+			}
+			return closeBB()
 		}},
 		{"chaos-agentcrash", "agent crash+restart; quorum freeze spans the outage", func(s harness.Scale, h eventsim.Time) error {
 			w, closeTrace, err := chaosTraceWriter()
 			if err != nil {
 				return err
 			}
-			r, err := harness.ChaosAgentCrash(s, h, chaosSeed, w)
+			bb, closeBB, err := blackboxWriter()
+			if err != nil {
+				return err
+			}
+			cfg := harness.ChaosAgentCrashConfig(s, h, chaosSeed, w)
+			cfg.Blackbox, cfg.ScaleLabel = bb, scaleLabel
+			r, err := harness.RunChaos(cfg)
 			if err != nil {
 				return err
 			}
 			r.Fprint(out)
-			return closeTrace()
+			if err := closeTrace(); err != nil {
+				return err
+			}
+			return closeBB()
 		}},
 		{"chaos-ctrlpartition", "TCP control plane under frame faults + controller restart", func(s harness.Scale, h eventsim.Time) error {
 			r, err := harness.ChaosCtrlPartition(s, h, chaosSeed)
@@ -227,12 +259,19 @@ func experiments() []experiment {
 			if err != nil {
 				return err
 			}
-			r, err := harness.ChaosDispatchCrash(s, h, chaosSeed, w)
+			bb, closeBB, err := blackboxWriter()
+			if err != nil {
+				return err
+			}
+			r, err := harness.ChaosDispatchCrashBlackbox(s, h, chaosSeed, w, bb)
 			if err != nil {
 				return err
 			}
 			r.Fprint(out)
-			return closeTrace()
+			if err := closeTrace(); err != nil {
+				return err
+			}
+			return closeBB()
 		}},
 		{"tuner-shootout", "every tuning strategy raced across alltoall, incast, and chaos-linkflap", func(s harness.Scale, h eventsim.Time) error {
 			r, err := harness.TunerShootout(s, h, chaosSeed)
@@ -265,6 +304,12 @@ func validateFlags(exp string, workers int, horizon time.Duration, set map[strin
 	if set["chaos-trace"] && exp == "all" {
 		return fmt.Errorf("-chaos-trace cannot be combined with -exp all: each chaos experiment would overwrite the trace file; pick one chaos-* experiment")
 	}
+	if set["blackbox"] && exp == "all" {
+		return fmt.Errorf("-blackbox cannot be combined with -exp all: each chaos experiment would overwrite the artifact; pick one chaos-* experiment")
+	}
+	if set["blackbox"] && (!isChaos || exp == "chaos-ctrlpartition") {
+		return fmt.Errorf("-blackbox only applies to the in-simulation chaos-* experiments (chaos-linkflap, chaos-agentcrash, chaos-dispatch), not %q", exp)
+	}
 	// tuner-shootout embeds the chaos-linkflap scenario, so it accepts a
 	// scenario seed too (but not a trace destination).
 	if set["chaos-seed"] && exp != "all" && !isChaos && exp != "tuner-shootout" {
@@ -291,6 +336,7 @@ func main() {
 	tunerName := flag.String("tuner", "", "tuning strategy for Paraleon arms: "+strings.Join(tuner.Names(), " | ")+" (default sa)")
 	seed := flag.Int64("chaos-seed", 1, "fault scenario seed for chaos-* experiments")
 	ctrace := flag.String("chaos-trace", "", "file for the chaos experiments' JSONL event trace")
+	blackbox := flag.String("blackbox", "", "file for the chaos experiments' flight-recorder artifact (read with paraleon-analyze)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/status and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
 	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the telemetry server up this long after experiments finish (requires -telemetry-addr)")
 	report := flag.Bool("report", false, "print a telemetry run summary after experiments finish")
@@ -315,6 +361,8 @@ func main() {
 	csvDir = *csv
 	chaosSeed = *seed
 	chaosTrace = *ctrace
+	blackboxPath = *blackbox
+	scaleLabel = *scaleName
 
 	var telemetrySrv *telemetry.HTTPServer
 	if *telemetryAddr != "" {

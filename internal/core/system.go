@@ -9,6 +9,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/series"
 	"repro/internal/topology"
 	"repro/internal/tuner"
 )
@@ -62,6 +63,13 @@ type SystemConfig struct {
 	// zero value keeps the legacy direct-apply path byte-for-byte: no
 	// guard, no plan events, no WAL.
 	Dispatch dispatch.Config
+	// Flight, when non-nil, attaches the virtual-time flight recorder:
+	// the loop samples its health signals (and a bounded per-ToR fabric
+	// view) into the recorder each interval and trips anomaly snapshots
+	// on rollbacks, dispatch aborts, quorum freezes, FSD degradation,
+	// and guard-reject bursts. Sampling is read-only and allocation-free;
+	// nil (the default) changes nothing.
+	Flight *series.Recorder
 }
 
 // DegradeConfig is the graceful-degradation policy of a deployment.
@@ -163,6 +171,10 @@ type System struct {
 	reg   *telemetry.Registry
 	TM    *telemetry.TunerMetrics
 	vtime *telemetry.Gauge
+
+	// flight, when non-nil, samples the loop into the configured flight
+	// recorder each interval (SystemConfig.Flight).
+	flight *flightSampler
 
 	sessionSpan  uint64
 	sessionStart eventsim.Time
@@ -291,6 +303,9 @@ func Attach(net *sim.Network, cfg SystemConfig) (*System, error) {
 			return nil, err
 		}
 	}
+	if cfg.Flight != nil {
+		s.flight = newFlightSampler(cfg.Flight, s)
+	}
 	return s, nil
 }
 
@@ -331,6 +346,9 @@ func (s *System) attachDispatch(cfg SystemConfig, scope []topology.NodeID) error
 		s.goodUtil = s.utilEWMA
 		s.haveGood = true
 		s.regress = 0
+		if s.flight != nil {
+			s.flight.rec.Trip(int64(s.Net.Eng.Now()), "dispatch_abort", reason)
+		}
 	}
 	return s.Dispatch.Resume(*net.RNICParams(), net.Eng.Now())
 }
@@ -431,6 +449,9 @@ func (s *System) tick() {
 	s.UtilityTrace = append(s.UtilityTrace, util)
 	now := s.Net.Eng.Now()
 	s.vtime.Set(float64(now))
+	if s.flight != nil {
+		s.flight.sample(s, now, sample, util)
+	}
 	defer s.publishStatus(now)
 	// Quorum lost: the measurement substrate itself is broken, so any
 	// feedback this interval is suspect. Hold parameters steady (do not
@@ -507,6 +528,11 @@ func (s *System) tick() {
 			s.TM.DispatchLatencyMs.Observe(float64(now-s.sessionStart) / 1e6)
 			if s.OnDispatch != nil {
 				s.OnDispatch(p)
+			}
+			if s.flight != nil {
+				// Constant kind/detail strings: the event ring entry is a
+				// value write, so recording dispatches allocates nothing.
+				s.flight.rec.Event(int64(now), "dispatch", "")
 			}
 			if s.Trace != nil {
 				s.Trace.DispatchIn(s.sessionSpan, p)
@@ -645,6 +671,10 @@ func (s *System) checkRollback(util float64) bool {
 	s.Tuner.Abort()
 	s.Rollbacks++
 	s.TM.Rollbacks.Inc()
+	if s.flight != nil {
+		s.flight.rec.Trip(int64(s.Net.Eng.Now()),
+			"rollback", fmt.Sprintf("ewma %.3f below good %.3f", s.utilEWMA, s.goodUtil))
+	}
 	s.regress = 0
 	// The regression has tainted the baseline too: re-anchor the good
 	// utility at the current level so a persistent fault does not fire

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/monitor"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/series"
 	"repro/internal/tuner"
 )
 
@@ -56,6 +58,13 @@ type ServerConfig struct {
 	// controller resumes from the last committed vector instead of
 	// re-announcing the base setting under already-used epochs.
 	WAL dispatch.WAL
+	// Flight, when non-nil, attaches the flight recorder: each tick the
+	// server samples its aggregated health signals into the recorder's
+	// series (time axis: tick index, since the wall-clock daemon has no
+	// virtual clock) and records dispatches and guard rejects as events.
+	// The caller owns writing the artifact out (paraleon-controller's
+	// -blackbox flag does it on shutdown).
+	Flight *series.Recorder
 }
 
 // DefaultServerConfig mirrors Table III.
@@ -115,6 +124,11 @@ type Server struct {
 	mm  *telemetry.MonitorMetrics
 	dm  *telemetry.DispatchMetrics
 	ttm *telemetry.TunerMetrics
+
+	// Flight-recorder series handles (nil unless cfg.Flight is set).
+	flight                    *series.Recorder
+	fOTP, fORTT, fOPFC, fUtil *series.Series
+	fKL, fBest, fEpoch        *series.Series
 }
 
 // controllerStatus is the server's /debug/status section.
@@ -163,6 +177,20 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	s.dm = telemetry.NewDispatchMetrics(s.reg)
 	s.ttm = telemetry.NewTunerMetrics(s.reg)
 	s.tuner.SetMetrics(s.ttm)
+	if cfg.Flight != nil {
+		s.flight = cfg.Flight
+		set := s.flight.Set
+		s.fOTP = set.Series("otp", "frac")
+		s.fORTT = set.Series("ortt", "frac")
+		s.fOPFC = set.Series("opfc", "frac")
+		s.fUtil = set.Series("utility", "score")
+		s.fKL = set.Series("monitor_kl", "nats")
+		s.fBest = set.Series("tuner_best_utility", "score")
+		s.fEpoch = set.Series("dispatch_epoch", "")
+		m := s.flight.Meta()
+		m.Tuner = s.tuner.Name()
+		s.flight.SetMeta(m)
+	}
 	if cfg.WAL != nil {
 		rec, err := dispatch.Recover(cfg.WAL)
 		if err != nil {
@@ -377,6 +405,23 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 	if devices > 0 {
 		sample.OPFC = 1 - pauseSum/float64(devices)
 	}
+	if s.flight != nil {
+		// Deferred so the epoch/best-utility samples see this tick's
+		// dispatch decision; runs under s.mu like the rest of tick.
+		defer func() {
+			tk := s.stats.Ticks
+			s.fOTP.Append(tk, sample.OTP)
+			s.fORTT.Append(tk, sample.ORTT)
+			s.fOPFC.Append(tk, sample.OPFC)
+			s.fUtil.Append(tk, core.Utility(sample, s.cfg.Weights))
+			// BestUtility is -Inf until a session measures something,
+			// and JSON cannot carry non-finite values.
+			if best := s.tuner.BestUtility(); !math.IsInf(best, 0) && !math.IsNaN(best) {
+				s.fBest.Append(tk, best)
+			}
+			s.fEpoch.Append(tk, float64(s.epoch))
+		}()
+	}
 
 	raw := monitor.Aggregate(locals...)
 	resp := ParamsMsg{Epoch: s.epoch, Params: ToWire(s.current)}
@@ -395,6 +440,9 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 		kl := monitor.TriggerDivergence(fsd, s.prev)
 		s.mm.LastKL.Set(kl)
 		s.mm.KL.Observe(kl)
+		if s.flight != nil {
+			s.fKL.Append(s.stats.Ticks, kl)
+		}
 		if kl > s.cfg.Theta && !s.tuner.Active() {
 			s.tuner.Trigger(fsd)
 			s.stats.Triggers++
@@ -418,6 +466,9 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 			s.stats.Rejects++
 			s.dm.Rejects.Inc()
 			s.ttm.GuardRejects.Inc()
+			if s.flight != nil {
+				s.flight.Event(s.stats.Ticks, "guard_reject", s.guard.Explain(reason, spec))
+			}
 			s.logf("ctrlrpc: dispatch rejected: %s", s.guard.Explain(reason, spec))
 		} else {
 			s.epoch++
@@ -427,6 +478,9 @@ func (s *Server) tick(t TickMsg) ParamsMsg {
 			s.tuner.Commit(p)
 			s.ttm.Dispatches.Inc()
 			s.dm.Epochs.Inc()
+			if s.flight != nil {
+				s.flight.Event(s.stats.Ticks, "dispatch", "")
+			}
 			resp.Changed = true
 			resp.Epoch = s.epoch
 			resp.Params = ToWire(p)

@@ -15,16 +15,21 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/series"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // chaosSink counts fault activity and forwards it to an optional trace
-// recorder and the chaos telemetry family.
+// recorder, the chaos telemetry family, and the flight recorder (where
+// a fault trips an anomaly snapshot and a recovery lands in the event
+// window).
 type chaosSink struct {
 	rec              *trace.Recorder
 	tm               *telemetry.ChaosMetrics
+	flight           *series.Recorder
+	now              func() eventsim.Time
 	faults, recovers int
 }
 
@@ -36,6 +41,9 @@ func (s *chaosSink) Fault(fault, target string) {
 	if s.rec != nil {
 		s.rec.Fault(fault, target)
 	}
+	if s.flight != nil {
+		s.flight.Trip(int64(s.now()), "chaos_fault", fault+" "+target)
+	}
 }
 
 func (s *chaosSink) Recover(fault, target string) {
@@ -45,6 +53,9 @@ func (s *chaosSink) Recover(fault, target string) {
 	}
 	if s.rec != nil {
 		s.rec.Recover(fault, target)
+	}
+	if s.flight != nil {
+		s.flight.Event(int64(s.now()), "chaos_recover", fault+" "+target)
 	}
 }
 
@@ -82,6 +93,20 @@ type ChaosRunConfig struct {
 	// (samples, dispatches, faults, recoveries, rollbacks). With a fixed
 	// scenario seed the trace is byte-identical across runs.
 	TraceTo io.Writer
+
+	// Blackbox, when non-nil, attaches the flight recorder and receives
+	// the run's black-box artifact (internal/telemetry/series) when the
+	// run ends: the sampled trajectory, anomaly snapshots around every
+	// rollback/fault/freeze, and registry histogram quantiles. With a
+	// fixed scenario seed the artifact is byte-identical across runs and
+	// shard counts (give SystemCfg.Telemetry a fresh registry if the
+	// process-wide default would mix runs). Experiment names the run in
+	// the artifact's meta.
+	Blackbox   io.Writer
+	Experiment string
+	// ScaleLabel names the fabric scale in the artifact meta ("quick",
+	// "medium", "paper"); optional.
+	ScaleLabel string
 }
 
 // ChaosResult is a chaos run's outcome: the usual series plus the
@@ -148,12 +173,40 @@ func RunChaos(cfg ChaosRunConfig) (*ChaosResult, error) {
 		reg = telemetry.Default()
 	}
 	cm := telemetry.NewChaosMetrics(reg)
-	sink := &chaosSink{rec: rec, tm: cm}
+	sink := &chaosSink{rec: rec, tm: cm, now: n.Eng.Now}
 
 	// Every agent rides behind a FlakySource so scenarios can kill it.
 	sysCfg := cfg.SystemCfg
 	sysCfg.Telemetry = reg
 	sysCfg.Interval = interval
+
+	// Scenario construction (not installation — the injector schedules
+	// engine events and must keep its position below core.Attach for the
+	// recorded goldens) happens early so the flight recorder can stamp
+	// the scenario seed into its artifact meta.
+	scenario := cfg.Scenario
+	if cfg.ScenarioFn != nil {
+		scenario = cfg.ScenarioFn(n)
+	}
+
+	var flight *series.Recorder
+	if cfg.Blackbox != nil {
+		flight = series.NewRecorder(series.Meta{
+			Experiment: cfg.Experiment,
+			Seed:       scenario.Seed,
+			Scale:      cfg.ScaleLabel,
+			IntervalNs: int64(interval),
+			HorizonNs:  int64(cfg.Duration),
+		})
+		sysCfg.Flight = flight
+		sink.flight = flight
+		// Flow completion times feed the registry histogram the artifact
+		// embeds; the hook is composable observation only.
+		fct := telemetry.NewSimMetrics(reg).FCTMs
+		n.AddFlowCompleteHook(func(fr sim.FlowRecord) {
+			fct.Observe(float64(fr.FCT()) / 1e6)
+		})
+	}
 	var flaky []*chaos.FlakySource
 	var sources []monitor.ReportSource
 	sketchTM := telemetry.NewSketchMetrics(reg)
@@ -178,11 +231,12 @@ func RunChaos(cfg ChaosRunConfig) (*ChaosResult, error) {
 		// trigger and links its dispatches/rollbacks into it.
 		sys.Trace = rec
 	}
-
-	scenario := cfg.Scenario
-	if cfg.ScenarioFn != nil {
-		scenario = cfg.ScenarioFn(n)
+	if flight != nil {
+		m := flight.Meta()
+		m.Tuner = sys.Tuner.Name()
+		flight.SetMeta(m)
 	}
+
 	inj := chaos.NewInjector(n, flaky, sink)
 	if err := inj.Install(scenario); err != nil {
 		return nil, err
@@ -230,6 +284,14 @@ func RunChaos(cfg ChaosRunConfig) (*ChaosResult, error) {
 		}
 		res.TraceEvents = rec.Events
 	}
+	if flight != nil {
+		if err := n.CheckPoolInvariant(); err != nil {
+			flight.Trip(int64(n.Eng.Now()), "pool_invariant", err.Error())
+		}
+		if err := flight.WriteArtifact(cfg.Blackbox, int64(n.Eng.Now()), reg); err != nil {
+			return nil, fmt.Errorf("chaos blackbox: %w", err)
+		}
+	}
 	return res, nil
 }
 
@@ -253,13 +315,22 @@ func fabricLink(n *sim.Network) (a, b topology.NodeID, err error) {
 // situation rollback exists for: utility regresses persistently, the
 // system reverts to the last-known-good vector and aborts the search.
 func ChaosLinkFlap(scale Scale, horizon eventsim.Time, seed int64, traceTo io.Writer) (*ChaosResult, error) {
+	return RunChaos(ChaosLinkFlapConfig(scale, horizon, seed, traceTo))
+}
+
+// ChaosLinkFlapConfig builds the chaos-linkflap run configuration, so
+// callers (the CLI's -blackbox flag, the determinism tests) can adjust
+// the run — attach a flight recorder, swap the registry — before
+// RunChaos executes it.
+func ChaosLinkFlapConfig(scale Scale, horizon eventsim.Time, seed int64, traceTo io.Writer) ChaosRunConfig {
 	sysCfg := DefaultChaosSystemConfig()
 	sysCfg.Degrade = core.DegradeConfig{RollbackWindow: 3, RollbackMargin: 0.05}
-	return RunChaos(ChaosRunConfig{
-		Scale:     scale,
-		SystemCfg: sysCfg,
-		Duration:  horizon,
-		TraceTo:   traceTo,
+	return ChaosRunConfig{
+		Scale:      scale,
+		SystemCfg:  sysCfg,
+		Duration:   horizon,
+		TraceTo:    traceTo,
+		Experiment: "chaos-linkflap",
 		ScenarioFn: func(n *sim.Network) chaos.Scenario {
 			a, b, err := fabricLink(n)
 			if err != nil {
@@ -289,7 +360,7 @@ func ChaosLinkFlap(scale Scale, horizon eventsim.Time, seed int64, traceTo io.Wr
 			})
 			return err
 		},
-	})
+	}
 }
 
 // ChaosAgentCrash is the chaos-agentcrash experiment: one of the two
@@ -299,6 +370,12 @@ func ChaosLinkFlap(scale Scale, horizon eventsim.Time, seed int64, traceTo io.Wr
 // interval the agent returns. Fully in-simulation, so a fixed seed
 // yields a byte-identical trace.
 func ChaosAgentCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo io.Writer) (*ChaosResult, error) {
+	return RunChaos(ChaosAgentCrashConfig(scale, horizon, seed, traceTo))
+}
+
+// ChaosAgentCrashConfig builds the chaos-agentcrash run configuration
+// (see ChaosLinkFlapConfig for why it is exported separately).
+func ChaosAgentCrashConfig(scale Scale, horizon eventsim.Time, seed int64, traceTo io.Writer) ChaosRunConfig {
 	sysCfg := DefaultChaosSystemConfig()
 	sysCfg.Degrade = core.DegradeConfig{
 		// Hold membership across the outage: with 2 racks, 1/2 present
@@ -307,11 +384,12 @@ func ChaosAgentCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo io.
 		StaleAfter: 1 << 20,
 		QuorumFrac: 0.6,
 	}
-	return RunChaos(ChaosRunConfig{
-		Scale:     scale,
-		SystemCfg: sysCfg,
-		Duration:  horizon,
-		TraceTo:   traceTo,
+	return ChaosRunConfig{
+		Scale:      scale,
+		SystemCfg:  sysCfg,
+		Duration:   horizon,
+		TraceTo:    traceTo,
+		Experiment: "chaos-agentcrash",
 		Scenario: chaos.Scenario{
 			Seed: seed,
 			Agents: []chaos.AgentFault{{
@@ -333,7 +411,7 @@ func ChaosAgentCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo io.
 			})
 			return err
 		},
-	})
+	}
 }
 
 // ChaosPartitionResult summarizes a control-plane partition run.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/series"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -75,6 +76,18 @@ func (r *ChaosDispatchResult) Fprint(w io.Writer) {
 // Fully in-simulation (MemWAL, simulated ACK latency), so a fixed seed
 // yields a byte-identical trace.
 func ChaosDispatchCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo io.Writer) (*ChaosDispatchResult, error) {
+	return chaosDispatchCrash(scale, horizon, seed, traceTo, nil)
+}
+
+// ChaosDispatchCrashBlackbox is ChaosDispatchCrash with a flight
+// recorder attached; blackbox receives the run's artifact, spanning
+// both controller incarnations (the replay-driven plan abort trips an
+// anomaly snapshot).
+func ChaosDispatchCrashBlackbox(scale Scale, horizon eventsim.Time, seed int64, traceTo, blackbox io.Writer) (*ChaosDispatchResult, error) {
+	return chaosDispatchCrash(scale, horizon, seed, traceTo, blackbox)
+}
+
+func chaosDispatchCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo, blackbox io.Writer) (*ChaosDispatchResult, error) {
 	interval := scale.Interval
 	if interval <= 0 {
 		interval = eventsim.Millisecond
@@ -92,7 +105,22 @@ func ChaosDispatchCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo 
 	}
 	reg := telemetry.NewRegistry()
 	cm := telemetry.NewChaosMetrics(reg)
-	sink := &chaosSink{rec: rec, tm: cm}
+	sink := &chaosSink{rec: rec, tm: cm, now: n.Eng.Now}
+
+	var flight *series.Recorder
+	if blackbox != nil {
+		flight = series.NewRecorder(series.Meta{
+			Experiment: "chaos-dispatch",
+			Seed:       seed,
+			IntervalNs: int64(interval),
+			HorizonNs:  int64(horizon),
+		})
+		sink.flight = flight
+		fct := telemetry.NewSimMetrics(reg).FCTMs
+		n.AddFlowCompleteHook(func(fr sim.FlowRecord) {
+			fct.Observe(float64(fr.FCT()) / 1e6)
+		})
+	}
 
 	// The WAL and fabric are the only state shared across the controller
 	// kill: the journal because it is durable, the fabric because device
@@ -114,6 +142,9 @@ func ChaosDispatchCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo 
 	if rec != nil {
 		sysCfg.Dispatch.Trace = rec
 	}
+	// Both controller incarnations sample into the one flight recorder,
+	// so the artifact spans the kill and the replay-driven recovery.
+	sysCfg.Flight = flight
 
 	var flaky []*chaos.FlakySource
 	var sources []monitor.ReportSource
@@ -255,6 +286,17 @@ func ChaosDispatchCrash(scale Scale, horizon eventsim.Time, seed int64, traceTo 
 			return nil, fmt.Errorf("chaos-dispatch trace: %w", err)
 		}
 		res.TraceEvents = rec.Events
+	}
+	if flight != nil {
+		m := flight.Meta()
+		m.Tuner = sys.Tuner.Name()
+		flight.SetMeta(m)
+		if err := n.CheckPoolInvariant(); err != nil {
+			flight.Trip(int64(n.Eng.Now()), "pool_invariant", err.Error())
+		}
+		if err := flight.WriteArtifact(blackbox, int64(n.Eng.Now()), reg); err != nil {
+			return nil, fmt.Errorf("chaos-dispatch blackbox: %w", err)
+		}
 	}
 	return res, nil
 }

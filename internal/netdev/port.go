@@ -140,9 +140,14 @@ type EgressPort struct {
 	// (host RNICs restart their flow scheduler here).
 	onResume func(class int)
 
-	// pause-duration accounting for the O_PFC utility term
+	// pause-duration accounting for the O_PFC utility term.
+	// pausedAccum is take-style (owned by the runtime collector);
+	// pausedTotal accumulates the same closed intervals forever so
+	// read-only consumers (the flight recorder) can take deltas
+	// without stealing from the collector.
 	pausedSince  eventsim.Time
 	pausedAccum  eventsim.Time
+	pausedTotal  eventsim.Time
 	pauseCounted bool
 
 	Stats PortStats
@@ -287,7 +292,9 @@ func (p *EgressPort) SetPaused(class int, paused bool) {
 			p.pausedSince = p.eng.Now()
 			p.pauseCounted = true
 		} else if p.pauseCounted {
-			p.pausedAccum += p.eng.Now() - p.pausedSince
+			d := p.eng.Now() - p.pausedSince
+			p.pausedAccum += d
+			p.pausedTotal += d
 			p.pauseCounted = false
 		}
 	}
@@ -306,11 +313,23 @@ func (p *EgressPort) TakePausedTime() eventsim.Time {
 	if p.pauseCounted {
 		now := p.eng.Now()
 		p.pausedAccum += now - p.pausedSince
+		p.pausedTotal += now - p.pausedSince
 		p.pausedSince = now
 	}
 	v := p.pausedAccum
 	p.pausedAccum = 0
 	return v
+}
+
+// TotalPausedTime reports the cumulative class-0 pause duration since
+// construction, without resetting anything: closed pause intervals
+// plus the elapsed portion of a pause still in progress. Safe to read
+// alongside TakePausedTime — the two never double- or under-count.
+func (p *EgressPort) TotalPausedTime() eventsim.Time {
+	if p.pauseCounted {
+		return p.pausedTotal + (p.eng.Now() - p.pausedSince)
+	}
+	return p.pausedTotal
 }
 
 // TakeTxDataBytes returns class-0 bytes transmitted since the previous

@@ -246,3 +246,14 @@ func (s *Switch) TakePausedTime() eventsim.Time {
 	}
 	return total
 }
+
+// TotalPausedTime sums the ports' cumulative pause durations without
+// resetting anything (flight-recorder sampling; see
+// EgressPort.TotalPausedTime).
+func (s *Switch) TotalPausedTime() eventsim.Time {
+	var total eventsim.Time
+	for _, p := range s.ports {
+		total += p.TotalPausedTime()
+	}
+	return total
+}

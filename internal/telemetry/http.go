@@ -43,6 +43,20 @@ type statusPayload struct {
 	// (e.g. control_loop: current parameter vector, quorum state, last
 	// trigger, SA progress).
 	Sections map[string]any `json:"sections"`
+	// Histograms summarizes every histogram family with at least one
+	// observation: p50/p95/p99 interpolated from the fixed buckets
+	// (see Quantile), in name order.
+	Histograms []histogramStatus `json:"histograms,omitempty"`
+}
+
+// histogramStatus is one /debug/status histogram summary line.
+type histogramStatus struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // Serve starts the introspection server on addr (use "127.0.0.1:0" for
@@ -116,6 +130,16 @@ func (s *HTTPServer) handleStatus(w http.ResponseWriter, req *http.Request) {
 		UptimeSeconds: now.Sub(s.reg.Started()).Seconds(),
 		VirtualTimeNs: int64(VirtualTime(s.reg).Value()),
 		Sections:      s.reg.Status(),
+	}
+	for _, h := range s.reg.Histograms() {
+		payload.Histograms = append(payload.Histograms, histogramStatus{
+			Name:  h.Name,
+			Count: h.Count,
+			Sum:   h.Sum,
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

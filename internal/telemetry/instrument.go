@@ -223,6 +223,21 @@ func NewDispatchMetrics(r *Registry) *DispatchMetrics {
 	}
 }
 
+// SimMetrics covers workload-level outcomes of a simulation run.
+// Populated opportunistically (flow-completion hooks are composable),
+// so harnesses attach it only when a consumer — the flight recorder,
+// a report — wants the distribution.
+type SimMetrics struct {
+	FCTMs *Histogram
+}
+
+// NewSimMetrics resolves the sim family set from r.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		FCTMs: r.Histogram("paraleon_sim_fct_ms", "Flow completion times in virtual milliseconds.", BucketsFCTMs),
+	}
+}
+
 // VirtualTime returns the virtual-clock gauge; control loops set it to
 // the engine's current time (nanoseconds) each tick so scrapers can
 // correlate wall-clock scrape times with virtual-time trace events.

@@ -1,0 +1,100 @@
+package telemetry
+
+import "math"
+
+// HistogramSnapshot is a point-in-time copy of one histogram family:
+// its fixed bucket bounds, cumulative counts (the +Inf bucket last),
+// and sum/count. Flight-recorder artifacts embed these so offline
+// analysis can recompute any quantile without the live registry.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	// Counts is cumulative and aligned with Bounds plus a final +Inf
+	// entry, exactly as /metrics exposes it.
+	Counts []int64 `json:"counts"`
+	Sum    float64 `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Quantile returns QuantileOf(s, q) for the snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return Quantile(s.Bounds, s.Counts, q)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a fixed-bucket
+// histogram from its ascending bucket bounds and cumulative counts
+// (len(cum) == len(bounds)+1, the last entry being the +Inf bucket).
+// The estimate interpolates linearly within the bucket holding the
+// rank, like Prometheus's histogram_quantile; ranks landing in the
+// +Inf bucket clamp to the highest finite bound. An empty histogram
+// yields NaN.
+func Quantile(bounds []float64, cum []int64, q float64) float64 {
+	if len(cum) == 0 || len(cum) != len(bounds)+1 {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	i := 0
+	for i < len(cum)-1 && float64(cum[i]) < rank {
+		i++
+	}
+	if i == len(bounds) {
+		// Rank falls past the last finite bound: the true value is
+		// unbounded above; report the best lower bound we have.
+		if len(bounds) == 0 {
+			return math.NaN()
+		}
+		return bounds[len(bounds)-1]
+	}
+	lo := 0.0
+	var below int64
+	if i > 0 {
+		lo = bounds[i-1]
+		below = cum[i-1]
+	}
+	hi := bounds[i]
+	inBucket := cum[i] - below
+	if inBucket <= 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-float64(below))/float64(inBucket)
+}
+
+// Histograms snapshots every histogram family that has recorded at
+// least one observation, in name order. Bounds and counts are copies:
+// callers may retain them across further Observe traffic.
+func (r *Registry) Histograms() []HistogramSnapshot {
+	var out []HistogramSnapshot
+	for _, f := range r.sortedFamilies() {
+		if f.kind != kindHistogram || f.h.Count() == 0 {
+			continue
+		}
+		out = append(out, HistogramSnapshot{
+			Name:   f.name,
+			Bounds: append([]float64(nil), f.h.bounds...),
+			Counts: f.h.snapshot(),
+			Sum:    f.h.Sum(),
+			Count:  f.h.Count(),
+		})
+	}
+	return out
+}
+
+// Names returns every registered family name in sorted order (the
+// metric-name lint test walks this against the README table).
+func (r *Registry) Names() []string {
+	fams := r.sortedFamilies()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.name
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// 10 observations: 5 in (0,1], 3 in (1,2], 2 in (2,4].
+	cum := []int64{5, 8, 10, 10}
+	if got := Quantile(bounds, cum, 0.50); got != 1 {
+		t.Errorf("p50=%g, want 1 (rank 5 lands exactly on the first bound)", got)
+	}
+	// Rank 8 closes the (1,2] bucket.
+	if got := Quantile(bounds, cum, 0.80); got != 2 {
+		t.Errorf("p80=%g, want 2", got)
+	}
+	// Rank 9 is halfway through the (2,4] bucket: 2 + 2*(9-8)/2 = 3.
+	if got := Quantile(bounds, cum, 0.90); got != 3 {
+		t.Errorf("p90=%g, want 3", got)
+	}
+	// +Inf bucket clamps to the last finite bound.
+	over := []int64{0, 0, 0, 10}
+	if got := Quantile(bounds, over, 0.99); got != 4 {
+		t.Errorf("overflow p99=%g, want clamp to 4", got)
+	}
+	if got := Quantile(bounds, []int64{0, 0, 0, 0}, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile=%g, want NaN", got)
+	}
+	if got := Quantile(bounds, []int64{1, 2}, 0.5); !math.IsNaN(got) {
+		t.Errorf("misaligned counts quantile=%g, want NaN", got)
+	}
+}
+
+func TestRegistryHistogramsSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("paraleon_sim_fct_ms", "test", BucketsFCTMs)
+	r.Histogram("paraleon_monitor_kl", "never observed", BucketsKL)
+	h.Observe(0.3)
+	h.Observe(7)
+	snaps := r.Histograms()
+	if len(snaps) != 1 {
+		t.Fatalf("Histograms()=%d families, want only the observed one", len(snaps))
+	}
+	s := snaps[0]
+	if s.Name != "paraleon_sim_fct_ms" || s.Count != 2 || s.Sum != 7.3 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if len(s.Counts) != len(s.Bounds)+1 {
+		t.Fatalf("counts/bounds misaligned: %d vs %d", len(s.Counts), len(s.Bounds))
+	}
+	if q := s.Quantile(0.95); q <= 0.3 || math.IsNaN(q) {
+		t.Fatalf("p95=%g", q)
+	}
+}

@@ -166,6 +166,10 @@ var (
 	BucketsFlows = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
 	// BucketsBytes covers per-interval byte masses (1 KB … 1 GB).
 	BucketsBytes = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	// BucketsFCTMs covers flow completion times in virtual milliseconds,
+	// finer than BucketsLatencyMs at the sub-millisecond end where mice
+	// flows live.
+	BucketsFCTMs = []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 25, 50, 100}
 )
 
 // family is one named metric with its metadata.

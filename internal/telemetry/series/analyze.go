@@ -1,0 +1,266 @@
+package series
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Offline analysis over black-box artifacts: percentile summaries,
+// ASCII sparklines, and the two-run diff with a regression verdict.
+// cmd/paraleon-analyze is a thin shell over these.
+
+// Stats returns min/mean/max of the dump's values (NaNs if empty).
+func (d *SeriesDump) Stats() (min, mean, max float64) {
+	if len(d.V) == 0 {
+		n := math.NaN()
+		return n, n, n
+	}
+	min, max = d.V[0], d.V[0]
+	sum := 0.0
+	for _, v := range d.V {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, sum / float64(len(d.V)), max
+}
+
+// Mean returns the mean of the dump's values (NaN if empty).
+func (d *SeriesDump) Mean() float64 {
+	_, m, _ := d.Stats()
+	return m
+}
+
+// Percentile returns the p-th percentile (0–100, nearest-rank) of the
+// dump's values, NaN if empty. It sorts a copy; dumps are offline
+// artifacts, not hot-path state.
+func (d *SeriesDump) Percentile(p float64) float64 {
+	if len(d.V) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), d.V...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// sparkBlocks are the eight-level bar glyphs sparklines draw with.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width block-glyph strip,
+// resampling by bucket mean when len(v) > width. A flat series draws
+// at the lowest level; an empty one returns "".
+func Sparkline(v []float64, width int) string {
+	if len(v) == 0 || width <= 0 {
+		return ""
+	}
+	if len(v) < width {
+		width = len(v)
+	}
+	cells := make([]float64, width)
+	for i := range cells {
+		lo := i * len(v) / width
+		hi := (i + 1) * len(v) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, x := range v[lo:hi] {
+			sum += x
+		}
+		cells[i] = sum / float64(hi-lo)
+	}
+	min, max := cells[0], cells[0]
+	for _, c := range cells {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for _, c := range cells {
+		level := 0
+		if max > min {
+			level = int((c - min) / (max - min) * float64(len(sparkBlocks)-1))
+		}
+		b.WriteRune(sparkBlocks[level])
+	}
+	return b.String()
+}
+
+// WriteSummary renders an artifact for humans: identity, the anomaly
+// timeline, per-series percentile lines with sparklines, and
+// histogram quantiles.
+func WriteSummary(w io.Writer, a *Artifact) {
+	fmt.Fprintf(w, "artifact: %s", a.Meta.Experiment)
+	if a.Meta.Tuner != "" {
+		fmt.Fprintf(w, " tuner=%s", a.Meta.Tuner)
+	}
+	fmt.Fprintf(w, " seed=%d", a.Meta.Seed)
+	if a.Meta.Scale != "" {
+		fmt.Fprintf(w, " scale=%s", a.Meta.Scale)
+	}
+	if a.Meta.IntervalNs > 0 {
+		fmt.Fprintf(w, " interval=%.3gms", float64(a.Meta.IntervalNs)/1e6)
+	}
+	fmt.Fprintf(w, " end=%.3gms\n", float64(a.EndT)/1e6)
+
+	fmt.Fprintf(w, "anomalies (%d):\n", len(a.Anomalies))
+	for _, an := range a.Anomalies {
+		snap := ""
+		if an.Snapshot >= 0 {
+			snap = fmt.Sprintf(" [snapshot %d]", an.Snapshot)
+		}
+		fmt.Fprintf(w, "  t=%-9.3fms %-22s %s%s\n", float64(an.T)/1e6, an.Kind, an.Detail, snap)
+	}
+	if len(a.Events) > 0 {
+		fmt.Fprintf(w, "events: %d recorded", len(a.Events))
+		if a.EventsDropped > 0 {
+			fmt.Fprintf(w, " (%d older dropped)", a.EventsDropped)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "series (%d):\n", len(a.Series))
+	for i := range a.Series {
+		d := &a.Series[i]
+		min, mean, max := d.Stats()
+		fmt.Fprintf(w, "  %-28s n=%-4d min=%-10.4g mean=%-10.4g max=%-10.4g p50=%-10.4g p95=%-10.4g p99=%.4g\n",
+			d.Name, len(d.V), min, mean, max,
+			d.Percentile(50), d.Percentile(95), d.Percentile(99))
+		if line := Sparkline(d.V, 64); line != "" {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
+
+	if len(a.Histograms) > 0 {
+		fmt.Fprintf(w, "histograms (%d):\n", len(a.Histograms))
+		for _, h := range a.Histograms {
+			fmt.Fprintf(w, "  %-42s count=%-7d p50=%-10.4g p95=%-10.4g p99=%.4g\n",
+				h.Name, h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
+	}
+}
+
+// Polarity classifies a signal for the diff verdict: +1 higher is
+// better, -1 lower is better, 0 informational only.
+func Polarity(name string) int {
+	switch name {
+	case "utility", "util_ewma", "otp", "ortt", "opfc", "tuner_best_utility":
+		return +1
+	}
+	switch {
+	case strings.HasPrefix(name, "pfc_pause_frac"):
+		return -1
+	case strings.HasSuffix(name, "_fct_ms"), strings.HasSuffix(name, "_latency_ms"),
+		strings.HasSuffix(name, "_settle_ms"):
+		return -1
+	}
+	return 0
+}
+
+// DiffLine is one compared signal.
+type DiffLine struct {
+	Name     string
+	Stat     string // "mean" for series, "p95" for histograms
+	A, B     float64
+	Polarity int
+	// Verdict is "ok", "better", "worse", or "info".
+	Verdict string
+}
+
+// DiffResult is a two-artifact comparison.
+type DiffResult struct {
+	Lines []DiffLine
+	// Regressions counts judged signals where B is worse than A
+	// beyond tolerance.
+	Regressions int
+}
+
+// Clean reports whether no judged signal regressed.
+func (d *DiffResult) Clean() bool { return d.Regressions == 0 }
+
+// Diff compares two artifacts signal by signal: the mean of every
+// series present in both, and the p95 of every histogram present in
+// both. A judged signal (Polarity ≠ 0) is a regression when B is
+// worse than A by more than tol relatively AND by an absolute floor
+// of 5% of the signal's scale — the floor keeps near-zero signals
+// (a pause fraction of 0.001 vs 0.002) from tripping on noise.
+func Diff(a, b *Artifact, tol float64) *DiffResult {
+	res := &DiffResult{}
+	judge := func(name, stat string, va, vb float64) {
+		pol := Polarity(name)
+		line := DiffLine{Name: name, Stat: stat, A: va, B: vb, Polarity: pol, Verdict: "info"}
+		if pol != 0 && !math.IsNaN(va) && !math.IsNaN(vb) {
+			scale := math.Max(math.Abs(va), math.Abs(vb))
+			delta := float64(pol) * (vb - va) // >0 improved, <0 worsened
+			switch {
+			case -delta > tol*scale && -delta > 0.05*math.Max(1, scale):
+				line.Verdict = "worse"
+				res.Regressions++
+			case delta > tol*scale && delta > 0.05*math.Max(1, scale):
+				line.Verdict = "better"
+			default:
+				line.Verdict = "ok"
+			}
+		}
+		res.Lines = append(res.Lines, line)
+	}
+	for i := range a.Series {
+		da := &a.Series[i]
+		db := b.FindSeries(da.Name)
+		if db == nil {
+			continue
+		}
+		judge(da.Name, "mean", da.Mean(), db.Mean())
+	}
+	for _, ha := range a.Histograms {
+		hb := b.FindHistogram(ha.Name)
+		if hb == nil {
+			continue
+		}
+		judge(ha.Name, "p95", ha.Quantile(0.95), hb.Quantile(0.95))
+	}
+	return res
+}
+
+// WriteDiff renders a diff with its verdict line (the last line is
+// always "verdict: ...", which CI greps).
+func WriteDiff(w io.Writer, a, b *Artifact, d *DiffResult) {
+	fmt.Fprintf(w, "diff: A=%s seed=%d tuner=%s  vs  B=%s seed=%d tuner=%s\n",
+		a.Meta.Experiment, a.Meta.Seed, a.Meta.Tuner,
+		b.Meta.Experiment, b.Meta.Seed, b.Meta.Tuner)
+	fmt.Fprintf(w, "  %-42s %-5s %12s %12s %8s  %s\n", "signal", "stat", "A", "B", "delta%", "verdict")
+	for _, l := range d.Lines {
+		deltaPct := math.NaN()
+		if scale := math.Max(math.Abs(l.A), math.Abs(l.B)); scale > 0 {
+			deltaPct = (l.B - l.A) / scale * 100
+		}
+		fmt.Fprintf(w, "  %-42s %-5s %12.5g %12.5g %+7.1f%%  %s\n",
+			l.Name, l.Stat, l.A, l.B, deltaPct, l.Verdict)
+	}
+	fmt.Fprintf(w, "  anomalies: A=%d B=%d\n", len(a.Anomalies), len(b.Anomalies))
+	if d.Clean() {
+		fmt.Fprintln(w, "verdict: NO REGRESSION")
+	} else {
+		fmt.Fprintf(w, "verdict: REGRESSION (%d signal(s) worse)\n", d.Regressions)
+	}
+}

@@ -1,0 +1,129 @@
+package series
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	d := &SeriesDump{V: []float64{5, 1, 4, 2, 3}}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {95, 5}, {100, 5}, {20, 1}, {40, 2},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%g)=%g, want %g", c.p, got, c.want)
+		}
+	}
+	empty := &SeriesDump{}
+	if !math.IsNaN(empty.Percentile(50)) {
+		t.Error("empty Percentile not NaN")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty sparkline %q", got)
+	}
+	flat := Sparkline([]float64{2, 2, 2}, 10)
+	if flat != "▁▁▁" {
+		t.Errorf("flat sparkline %q", flat)
+	}
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if ramp != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline %q", ramp)
+	}
+	// Longer than width: resampled, still width glyphs.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := Sparkline(long, 64); len([]rune(got)) != 64 {
+		t.Errorf("resampled sparkline has %d glyphs, want 64", len([]rune(got)))
+	}
+}
+
+func TestPolarity(t *testing.T) {
+	cases := map[string]int{
+		"utility":                            +1,
+		"tuner_best_utility":                 +1,
+		"otp":                                +1,
+		"pfc_pause_frac_tor0":                -1,
+		"paraleon_sim_fct_ms":                -1,
+		"paraleon_tuner_dispatch_latency_ms": -1,
+		"paraleon_tuner_settle_ms":           -1,
+		"queue_bytes_tor0":                   0,
+		"dispatch_epoch":                     0,
+	}
+	for name, want := range cases {
+		if got := Polarity(name); got != want {
+			t.Errorf("Polarity(%q)=%d, want %d", name, got, want)
+		}
+	}
+}
+
+func mkArtifact(utility, pause float64) *Artifact {
+	return &Artifact{
+		Version: ArtifactVersion,
+		Meta:    Meta{Experiment: "unit"},
+		Series: []SeriesDump{
+			{Name: "utility", V: []float64{utility, utility}},
+			{Name: "pfc_pause_frac_tor0", V: []float64{pause, pause}},
+			{Name: "dispatch_epoch", V: []float64{1, 2}},
+		},
+		Anomalies: []Anomaly{},
+	}
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	a := mkArtifact(60, 0.30)
+
+	clean := Diff(a, mkArtifact(60, 0.30), 0.05)
+	if !clean.Clean() {
+		t.Fatalf("identical runs judged regressed: %+v", clean.Lines)
+	}
+
+	// Utility collapse: judged signal, large relative and absolute drop.
+	worse := Diff(a, mkArtifact(20, 0.30), 0.05)
+	if worse.Clean() || worse.Regressions != 1 {
+		t.Fatalf("utility collapse not flagged: %+v", worse.Lines)
+	}
+
+	// Pause fraction is lower-is-better: B pausing much more regresses,
+	// but a near-zero absolute move does not (the 5%-of-scale floor).
+	pause := Diff(mkArtifact(60, 0.30), mkArtifact(60, 0.90), 0.05)
+	if pause.Clean() {
+		t.Fatalf("pause blow-up not flagged: %+v", pause.Lines)
+	}
+	noise := Diff(mkArtifact(60, 0.001), mkArtifact(60, 0.002), 0.05)
+	if !noise.Clean() {
+		t.Fatalf("near-zero pause noise flagged as regression: %+v", noise.Lines)
+	}
+
+	// Informational signals never regress, whatever they do.
+	for _, l := range worse.Lines {
+		if l.Name == "dispatch_epoch" && l.Verdict != "info" {
+			t.Fatalf("dispatch_epoch judged %q, want info", l.Verdict)
+		}
+	}
+}
+
+func TestWriteDiffVerdictLine(t *testing.T) {
+	a := mkArtifact(60, 0.30)
+	for _, c := range []struct {
+		b    *Artifact
+		want string
+	}{
+		{mkArtifact(60, 0.30), "verdict: NO REGRESSION"},
+		{mkArtifact(20, 0.30), "verdict: REGRESSION (1 signal(s) worse)"},
+	} {
+		var sb strings.Builder
+		d := Diff(a, c.b, 0.05)
+		WriteDiff(&sb, a, c.b, d)
+		lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+		if got := lines[len(lines)-1]; got != c.want {
+			t.Errorf("last diff line %q, want %q", got, c.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@
 """Convert `go test -bench` output to JSON and enforce the perf gate.
 
 Usage: benchjson.py [--require NAME[,NAME...]] BENCH_OUTPUT.txt BENCH.json
+       benchjson.py --merge BENCH_trajectory.json BENCH_pr*.json
 
 Parses every benchmark result line into {name, iterations, metrics{unit:
 value}} and writes the collection as JSON. The output path is free-form,
@@ -19,6 +20,12 @@ BENCH_pr6.json, ...) without clobbering each other. Exits non-zero when:
 --require names are substring matches against the result names (which may
 carry a -<GOMAXPROCS> suffix), so "BenchmarkShardedThroughput" covers its
 sub-benchmarks too.
+
+--merge folds the per-PR gate files into one trajectory document keyed by
+benchmark name: {benchmarks: {name: [{source, iterations, metrics}, ...]}},
+inputs ordered by the numeric PR suffix when present (BENCH_pr5 before
+BENCH_pr10) so each list reads as the metric's history across the stack.
+Exits non-zero when an input is missing, unparsable, or empty.
 """
 
 import json
@@ -59,8 +66,52 @@ def parse(path):
     return results
 
 
+def source_key(path):
+    """Sort key: numeric PR suffix when present, else lexical.
+
+    BENCH_pr5.json sorts before BENCH_pr10.json; files without the
+    suffix sort after the numbered ones, lexically.
+    """
+    m = re.search(r"pr(\d+)", path)
+    if m:
+        return (0, int(m.group(1)), path)
+    return (1, 0, path)
+
+
+def merge(dst, srcs):
+    if not srcs:
+        sys.exit("benchjson: --merge needs at least one input file")
+    trajectory = {}
+    for src in sorted(srcs, key=source_key):
+        try:
+            with open(src) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            sys.exit("benchjson: --merge: %s: %s" % (src, e))
+        results = doc.get("benchmarks")
+        if not isinstance(results, list) or not results:
+            sys.exit("benchjson: --merge: %s has no benchmarks" % src)
+        label = re.sub(r"^BENCH_|\.json$", "", src.rsplit("/", 1)[-1])
+        for r in results:
+            trajectory.setdefault(r["name"], []).append({
+                "source": label,
+                "iterations": r.get("iterations"),
+                "metrics": r.get("metrics", {}),
+            })
+    with open(dst, "w") as f:
+        json.dump({"benchmarks": trajectory}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("benchjson: merged %d files (%d benchmark names) into %s"
+          % (len(srcs), len(trajectory), dst))
+
+
 def main():
     args = sys.argv[1:]
+    if args and args[0] == "--merge":
+        if len(args) < 3:
+            sys.exit(__doc__)
+        merge(args[1], args[2:])
+        return
     required = []
     while args and args[0].startswith("--"):
         opt = args.pop(0)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate flight-recorder black-box artifacts against their schema.
+
+Usage: validate_blackbox.py ARTIFACT.json [ARTIFACT.json ...]
+
+Checks the invariants cmd/paraleon-analyze and the CI artifact probe
+rely on (see internal/telemetry/series):
+
+  * version is the current ArtifactVersion (1) and meta names the run;
+  * every series carries aligned t/v arrays, a stride >= 1, and an
+    offered count consistent with what was stored;
+  * every anomaly's snapshot index points into the snapshots array (or
+    is -1 when the per-run snapshot budget was exhausted);
+  * histogram snapshots keep counts cumulative and aligned with
+    bounds + 1 (the +Inf bucket).
+
+Exits non-zero naming the first violated invariant.
+"""
+
+import json
+import sys
+
+REQUIRED_SERIES = (
+    "utility",
+    "monitor_kl",
+    "queue_bytes_tor0",
+    "pfc_pause_frac_tor0",
+)
+
+
+def fail(path, msg):
+    sys.exit("validate_blackbox: %s: %s" % (path, msg))
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            a = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(path, str(e))
+
+    if a.get("version") != 1:
+        fail(path, "version %r, want 1" % a.get("version"))
+    meta = a.get("meta", {})
+    if not meta.get("experiment"):
+        fail(path, "meta.experiment missing")
+
+    anomalies = a.get("anomalies")
+    if not isinstance(anomalies, list):
+        fail(path, "anomalies is %r, want a list" % type(anomalies))
+    snapshots = a.get("snapshots", [])
+    for i, an in enumerate(anomalies):
+        if not an.get("kind"):
+            fail(path, "anomaly %d has no kind" % i)
+        snap = an.get("snapshot", -1)
+        if snap != -1 and not (0 <= snap < len(snapshots)):
+            fail(path, "anomaly %d snapshot index %d out of range" % (i, snap))
+
+    series = a.get("series", [])
+    names = set()
+    for s in series:
+        name = s.get("name")
+        if not name:
+            fail(path, "series without a name")
+        names.add(name)
+        if len(s.get("t", [])) != len(s.get("v", [])):
+            fail(path, "series %s: t/v length mismatch" % name)
+        if s.get("stride", 0) < 1:
+            fail(path, "series %s: stride %r < 1" % (name, s.get("stride")))
+        if s.get("offered", 0) < len(s.get("t", [])):
+            fail(path, "series %s: offered %r < stored %d"
+                 % (name, s.get("offered"), len(s.get("t", []))))
+    for req in REQUIRED_SERIES:
+        if req not in names:
+            fail(path, "required series %s missing" % req)
+
+    for h in a.get("histograms", []):
+        name = h.get("name", "?")
+        bounds, counts = h.get("bounds", []), h.get("counts", [])
+        if len(counts) != len(bounds) + 1:
+            fail(path, "histogram %s: %d counts for %d bounds"
+                 % (name, len(counts), len(bounds)))
+        if any(counts[i] > counts[i + 1] for i in range(len(counts) - 1)):
+            fail(path, "histogram %s: counts not cumulative" % name)
+        if counts and counts[-1] != h.get("count"):
+            fail(path, "histogram %s: count %r != last cumulative %d"
+                 % (name, h.get("count"), counts[-1]))
+
+    print("validate_blackbox: %s ok (%d series, %d anomalies, %d histograms)"
+          % (path, len(series), len(anomalies), len(a.get("histograms", []))))
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()
