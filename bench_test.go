@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dcqcn"
 	"repro/internal/eventsim"
 	"repro/internal/harness"
 	"repro/internal/monitor"
@@ -439,6 +440,87 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(events), "allocs/event")
 }
 
+// BenchmarkEngineThroughputTimerHeavy isolates the timer subsystem the
+// timing wheel was built for: a fleet of 4096 hosts × 4 QPs = 16384
+// DCQCN reaction points driving the engine with nothing but recurring
+// timers (alpha decay every 55 µs, rate increase every 300 µs), plus CNP
+// injectors poking 10% of the QPs so cut/re-arm churn and — in the
+// suppressed arm — park/unpark transitions stay on the hot path.
+//
+// Three arms on identical workloads:
+//
+//	heap           SetWheelEnabled(false): every timer through the 4-ary heap
+//	wheel          the default engine (timers staged in the timing wheel)
+//	wheel+suppress wheel + quiescent-QP suppression (90% of QPs park)
+//
+// heap and wheel process byte-identical event sequences (the wheel's
+// ordering contract), so their ns/event ratio is a pure data-structure
+// comparison; the CI gate requires wheel ≤ 0.75× heap. The suppressed
+// arm additionally skips provably no-op fires, so its events/run drops —
+// that arm's win shows up in ns of wall clock per simulated second.
+func BenchmarkEngineThroughputTimerHeavy(b *testing.B) {
+	const (
+		hosts   = 2048
+		qps     = 4 // QPs per host
+		nRP     = hosts * qps
+		horizon = 10 * eventsim.Millisecond
+	)
+	run := func(b *testing.B, wheel, suppress bool) {
+		b.ReportAllocs()
+		var events uint64
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer() // fleet construction is identical across arms; time only the run
+			eng := eventsim.NewEngine(7)
+			eng.SetWheelEnabled(wheel)
+			// Pre-size the slab and heap for the fleet's pending-timer
+			// high-water mark so the measured region allocates nothing.
+			eng.Reserve(3 * nRP)
+			params := dcqcn.DefaultParams()
+			// Alpha starts fully decayed: the alpha timer fires no-op decays
+			// (and under suppression parks immediately), matching a fleet of
+			// long-idle QPs — the workload suppression exists for.
+			params.InitialAlpha = 0
+			rps := make([]*dcqcn.RP, nRP)
+			for j := range rps {
+				rps[j] = dcqcn.NewRP(eng, func() *dcqcn.Params { return &params }, 100e9)
+				rps[j].SetSuppression(suppress)
+				rps[j].Start()
+			}
+			// CNP injectors: every 2nd QP takes a CNP roughly every 11 µs,
+			// phases staggered so fires spread across wheel slots. Implemented
+			// as self-rearming wheel timers — the recurring-timer pattern the
+			// RearmAfter path is built for. Each CNP re-arms the victim's
+			// live increase timer in place (the OnCNP cut path): O(1) in the
+			// wheel, a full sift through the 2·nRP-element heap without it.
+			// In the suppressed arm injected QPs also exercise park/unpark.
+			const injectEvery = 11*eventsim.Microsecond + 7
+			for j := 0; j < nRP; j += 2 {
+				j := j
+				var inject eventsim.Handler
+				var ev eventsim.EventID
+				inject = func() {
+					rps[j].OnCNP()
+					ev = eng.RearmAfter(ev, injectEvery, inject)
+				}
+				ev = eng.TimerAfter(eventsim.Time(j%100)*eventsim.Microsecond/100+1, inject)
+			}
+			b.StartTimer()
+			eng.RunUntil(horizon)
+			events += eng.Processed
+		}
+		runtime.ReadMemStats(&ms1)
+		b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(events), "allocs/event")
+	}
+	b.Run("heap", func(b *testing.B) { run(b, false, false) })
+	b.Run("wheel", func(b *testing.B) { run(b, true, false) })
+	b.Run("wheel+suppress", func(b *testing.B) { run(b, true, true) })
+}
+
 // BenchmarkShardedThroughput measures the multi-core win from sharded
 // execution: the same pre-scheduled workload on a 16-pod fabric, run on a
 // single engine shard and then spread across engine shards pinned by the
@@ -449,52 +531,65 @@ func BenchmarkEngineThroughput(b *testing.B) {
 // headline: the sharded/1-shard ratio is the speedup, recorded per PR in
 // BENCH_pr6.json.
 func BenchmarkShardedThroughput(b *testing.B) {
-	shardCounts := []int{1, 4}
-	if n := runtime.NumCPU(); n >= 8 {
-		shardCounts = append(shardCounts, 8)
-	}
-	for _, shards := range shardCounts {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			var events uint64
-			for i := 0; i < b.N; i++ {
-				cfg := sim.DefaultConfig()
-				cfg.Clos = topology.ClosConfig{
-					NumToR: 16, NumLeaf: 4, HostsPerToR: 8,
-					HostLinkBps: 10e9, FabricLinkBps: 40e9,
-					PropDelay: 2 * eventsim.Microsecond,
-				}
-				cfg.Shards = shards
-				n, err := sim.New(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				hosts := n.Topo.Hosts()
-				per := 8 // hosts per pod
-				rng := rand.New(rand.NewSource(11))
-				for h, src := range hosts {
-					pod := h / per
-					for f := 0; f < 4; f++ {
-						// 3 of 4 flows stay inside the pod; the rest cross it.
-						dst := pod*per + rng.Intn(per)
-						if f == 3 {
-							dst = rng.Intn(len(hosts))
-						}
-						for hosts[dst] == src {
-							dst = (dst + 1) % len(hosts)
-						}
-						at := eventsim.Time(rng.Int63n(int64(eventsim.Millisecond)))
-						n.StartFlowAt(at, src, hosts[dst], 512<<10)
-					}
-				}
-				n.RunUntilIdle(eventsim.Second)
-				if n.ActiveFlows() != 0 {
-					b.Fatalf("shards=%d: flows never drained", shards)
-				}
-				events += n.EventsProcessed()
+	run := func(b *testing.B, shards int, timerHeavy bool) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			cfg := sim.DefaultConfig()
+			cfg.Clos = topology.ClosConfig{
+				NumToR: 16, NumLeaf: 4, HostsPerToR: 8,
+				HostLinkBps: 10e9, FabricLinkBps: 40e9,
+				PropDelay: 2 * eventsim.Microsecond,
 			}
-			b.ReportMetric(float64(events)/float64(b.N), "events/run")
-			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
-		})
+			flowBytes := int64(512 << 10)
+			if timerHeavy {
+				// Slow links stretch the same flows over ~80 ms of virtual
+				// time, so the recurring DCQCN timers (alpha every 55 µs,
+				// increase every 300 µs, per QP) outnumber packet events —
+				// the inverse of the packet-dominated default. This is the
+				// sharded analogue of EngineThroughputTimerHeavy: every
+				// shard engine runs its own timing wheel.
+				cfg.Clos.HostLinkBps = 100e6
+				cfg.Clos.FabricLinkBps = 400e6
+				flowBytes = 256 << 10
+			}
+			cfg.Shards = shards
+			n, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hosts := n.Topo.Hosts()
+			per := 8 // hosts per pod
+			rng := rand.New(rand.NewSource(11))
+			for h, src := range hosts {
+				pod := h / per
+				for f := 0; f < 4; f++ {
+					// 3 of 4 flows stay inside the pod; the rest cross it.
+					dst := pod*per + rng.Intn(per)
+					if f == 3 {
+						dst = rng.Intn(len(hosts))
+					}
+					for hosts[dst] == src {
+						dst = (dst + 1) % len(hosts)
+					}
+					at := eventsim.Time(rng.Int63n(int64(eventsim.Millisecond)))
+					n.StartFlowAt(at, src, hosts[dst], flowBytes)
+				}
+			}
+			n.RunUntilIdle(eventsim.Second)
+			if n.ActiveFlows() != 0 {
+				b.Fatalf("shards=%d: flows never drained", shards)
+			}
+			events += n.EventsProcessed()
+		}
+		b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { run(b, shards, false) })
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("timer/shards=%d", shards), func(b *testing.B) { run(b, shards, true) })
 	}
 }
 

@@ -110,6 +110,7 @@ type ACC struct {
 	net    *sim.Network
 	cfg    ACCConfig
 	ev     eventsim.EventID
+	tickFn eventsim.Handler
 	on     bool
 }
 
@@ -145,16 +146,22 @@ func (a *ACC) Stop() {
 	a.net.Eng.Cancel(a.ev)
 }
 
+// arm (re)schedules the decision tick through the timing wheel: the
+// persistent handler is built once, and each tick's re-arm recycles the
+// previous event's slot.
 func (a *ACC) arm() {
-	a.ev = a.net.Eng.After(a.cfg.Interval, func() {
-		if !a.on {
-			return
+	if a.tickFn == nil {
+		a.tickFn = func() {
+			if !a.on {
+				return
+			}
+			for _, ag := range a.agents {
+				ag.step()
+			}
+			a.arm()
 		}
-		for _, ag := range a.agents {
-			ag.step()
-		}
-		a.arm()
-	})
+	}
+	a.ev = a.net.Eng.RearmAfter(a.ev, a.cfg.Interval, a.tickFn)
 }
 
 // Decisions sums decisions across agents.

@@ -43,8 +43,9 @@ type DCQCNPlus struct {
 	// overrides holds the per-host parameter structs we installed.
 	overrides map[topology.NodeID]*dcqcn.Params
 
-	ev eventsim.EventID
-	on bool
+	ev     eventsim.EventID
+	tickFn eventsim.Handler
+	on     bool
 
 	// Adjustments counts parameter rewrites.
 	Adjustments int
@@ -84,14 +85,19 @@ func (d *DCQCNPlus) Stop() {
 	d.overrides = map[topology.NodeID]*dcqcn.Params{}
 }
 
+// arm (re)schedules the adaptation tick through the timing wheel with a
+// persistent handler — one event slot recycled tick after tick.
 func (d *DCQCNPlus) arm() {
-	d.ev = d.net.Eng.After(d.cfg.Interval, func() {
-		if !d.on {
-			return
+	if d.tickFn == nil {
+		d.tickFn = func() {
+			if !d.on {
+				return
+			}
+			d.step()
+			d.arm()
 		}
-		d.step()
-		d.arm()
-	})
+	}
+	d.ev = d.net.Eng.RearmAfter(d.ev, d.cfg.Interval, d.tickFn)
 }
 
 // scaleFor is the sender-side incast factor: the worst congested-receiver

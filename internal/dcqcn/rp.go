@@ -37,10 +37,31 @@ type RP struct {
 	timerEv, alphaEv eventsim.EventID
 	running          bool
 
+	// Quiescent-timer suppression (SetSuppression). A QP pinned at line
+	// rate with alpha fully decayed changes no observable state on timer
+	// fires, so the timers park instead of re-arming and unpark lazily on
+	// the next CNP. timerParked/alphaParked record the parked timers;
+	// alphaAnchor is the virtual time of the alpha timer's last fire, the
+	// grid origin the lazy re-arm replays from.
+	suppress    bool
+	timerParked bool
+	alphaParked bool
+	alphaAnchor eventsim.Time
+
 	// Cuts and Increases count rate-decrease and rate-increase events;
 	// exported for tests and overhead accounting.
 	Cuts, Increases int
 }
+
+// alphaSnapFloor is the decay threshold below which alpha snaps to
+// exactly 0. The snap is float-exact for every observable computation:
+// below 1e-21, alpha is under half an ulp of any tunable G (Specs() floors
+// g at 1/1024, ulp(2^-10)/2 ≈ 1.1e-19), so the CNP update
+// (1-G)*alpha + G rounds to the same double either way, and the cut
+// factor 1 - alpha/2 rounds to exactly 1.0. Snapping therefore changes
+// no trace — it only gives "fully decayed" a representable fixed point
+// the suppression path can park on.
+const alphaSnapFloor = 1e-21
 
 // NewRP returns a reaction point sending at line rate with alpha seeded
 // from the current parameters. params must never return nil.
@@ -60,6 +81,14 @@ func NewRP(eng *eventsim.Engine, params func() *Params, lineRateBps float64) *RP
 		}
 		rp.tStage++
 		rp.increaseEvent()
+		// Park once the QP is pinned at line rate: every further fire
+		// would only bump stage counters that the next cut resets before
+		// anything reads them, so skipping the fires is trace-invariant
+		// (see SetSuppression). OnCNP re-arms on the cut path.
+		if rp.suppress && rp.rc >= rp.lineRateBps && rp.rt >= rp.lineRateBps {
+			rp.timerParked = true
+			return
+		}
 		rp.armIncreaseTimer()
 	}
 	rp.alphaFn = func() {
@@ -68,11 +97,47 @@ func NewRP(eng *eventsim.Engine, params func() *Params, lineRateBps float64) *RP
 		}
 		if !rp.cnpSinceAlpha {
 			rp.alpha *= 1 - rp.params().G
+			if rp.alpha < alphaSnapFloor {
+				rp.alpha = 0
+			}
 		}
 		rp.cnpSinceAlpha = false
+		// Fully decayed: further decays are no-ops, so park and let the
+		// next CNP replay the fire grid from this anchor.
+		if rp.suppress && rp.alpha == 0 {
+			rp.alphaParked = true
+			rp.alphaAnchor = rp.eng.Now()
+			return
+		}
 		rp.armAlphaTimer()
 	}
 	return rp
+}
+
+// SetSuppression enables quiescent-QP timer suppression: when the QP
+// sits at line rate (increase timer) or alpha has fully decayed to 0
+// (alpha timer), the timer parks instead of re-arming, and the next CNP
+// re-arms it lazily. Parking is trace-invariant: a parked timer's fires
+// would only have touched state that is either invisible until the next
+// cut resets it (tStage, hyperCount at clamped line rate) or already at
+// its fixed point (alpha 0), and event ordering is purely comparative,
+// so removing the fires shifts no surviving event relative to another.
+// The only observable divergence is the Increases statistics counter,
+// which stops counting clamped no-op increases while parked. The alpha
+// re-arm replays the original fire grid from the last fire, exact as
+// long as alpha_update_interval is not retuned mid-park (a retune
+// re-phases the grid by less than one interval once).
+func (rp *RP) SetSuppression(on bool) {
+	rp.suppress = on
+	if !on && rp.running {
+		if rp.timerParked {
+			rp.timerParked = false
+			rp.armIncreaseTimer()
+		}
+		if rp.alphaParked {
+			rp.unparkAlpha()
+		}
+	}
 }
 
 // Rate reports the current sending rate in bps.
@@ -87,14 +152,27 @@ func (rp *RP) Alpha() float64 { return rp.alpha }
 // Running reports whether the RP timers are armed.
 func (rp *RP) Running() bool { return rp.running }
 
-// Start arms the increase and alpha timers. It is idempotent.
+// Start arms the increase and alpha timers. It is idempotent. Under
+// suppression a QP that is already quiescent (line rate, alpha at 0 —
+// e.g. InitialAlpha 0) parks its timers immediately instead of arming
+// them: every skipped fire would have been a no-op, and the unpark
+// paths restore the exact schedules a never-parked QP would have.
 func (rp *RP) Start() {
 	if rp.running {
 		return
 	}
 	rp.running = true
-	rp.armIncreaseTimer()
-	rp.armAlphaTimer()
+	if rp.suppress && rp.rc >= rp.lineRateBps && rp.rt >= rp.lineRateBps {
+		rp.timerParked = true
+	} else {
+		rp.armIncreaseTimer()
+	}
+	if rp.suppress && rp.alpha == 0 {
+		rp.alphaParked = true
+		rp.alphaAnchor = rp.eng.Now()
+	} else {
+		rp.armAlphaTimer()
+	}
 }
 
 // Stop cancels the timers; the QP went idle or its flow finished.
@@ -105,14 +183,31 @@ func (rp *RP) Stop() {
 	rp.running = false
 	rp.eng.Cancel(rp.timerEv)
 	rp.eng.Cancel(rp.alphaEv)
+	rp.timerParked = false
+	rp.alphaParked = false
 }
 
+// The arm helpers rearm through the timing wheel: on the fire path the
+// old id is stale and this schedules afresh; on the OnCNP restart path
+// the live timer is rescheduled in place, O(1) instead of heap churn.
 func (rp *RP) armIncreaseTimer() {
-	rp.timerEv = rp.eng.After(rp.params().RPGTimeReset, rp.timerFn)
+	rp.timerEv = rp.eng.RearmAfter(rp.timerEv, rp.params().RPGTimeReset, rp.timerFn)
 }
 
 func (rp *RP) armAlphaTimer() {
-	rp.alphaEv = rp.eng.After(rp.params().AlphaUpdateInterval, rp.alphaFn)
+	rp.alphaEv = rp.eng.RearmAfter(rp.alphaEv, rp.params().AlphaUpdateInterval, rp.alphaFn)
+}
+
+// unparkAlpha re-arms a parked alpha timer on the fire grid it would
+// have kept had it never parked: the first multiple of the update
+// interval strictly after now, counted from the last fire. Strictly
+// after, because a fire scheduled at the CNP's own instant would have
+// run before the CNP (it was scheduled far earlier) and re-armed +I.
+func (rp *RP) unparkAlpha() {
+	rp.alphaParked = false
+	i := rp.params().AlphaUpdateInterval
+	k := (rp.eng.Now()-rp.alphaAnchor)/i + 1
+	rp.alphaEv = rp.eng.RearmAt(rp.alphaEv, rp.alphaAnchor+k*i, rp.alphaFn)
 }
 
 // OnCNP handles a congestion notification from the NP. The alpha estimate
@@ -122,6 +217,11 @@ func (rp *RP) OnCNP() {
 	p := rp.params()
 	rp.cnpSinceAlpha = true
 	rp.alpha = (1-p.G)*rp.alpha + p.G
+	// Alpha is no longer at its decayed fixed point: resume the decay
+	// grid before the throttle can swallow the rest of this CNP.
+	if rp.alphaParked && rp.running {
+		rp.unparkAlpha()
+	}
 	now := rp.eng.Now()
 	if rp.everCut && now-rp.lastCut < p.RateReduceMonitorPeriod {
 		return
@@ -140,9 +240,12 @@ func (rp *RP) OnCNP() {
 	rp.byteCounter = 0
 	rp.hyperCount = 0
 	rp.Cuts++
-	// The DCQCN increase timer restarts on a cut.
+	// The DCQCN increase timer restarts on a cut: one reschedule-in-place
+	// (or a fresh schedule when it was parked at line rate) instead of
+	// the historical Cancel+After pair — same one sequence number, no
+	// heap churn.
 	if rp.running {
-		rp.eng.Cancel(rp.timerEv)
+		rp.timerParked = false
 		rp.armIncreaseTimer()
 	}
 }

@@ -1,0 +1,230 @@
+package dcqcn
+
+import (
+	"testing"
+
+	"repro/internal/eventsim"
+)
+
+// suppressionScript drives one RP through a scripted sequence of waits,
+// CNPs, and byte credits, snapshotting (now, rc, rt, alpha) after every
+// op. Two RPs fed the same script must produce identical snapshots
+// whether or not suppression is on — that is the invariance contract
+// SetSuppression documents.
+type rpSnapshot struct {
+	now        eventsim.Time
+	rc, rt, al float64
+	cuts       int
+}
+
+type rpOp struct {
+	wait  eventsim.Time // advance virtual time before acting
+	cnp   bool
+	bytes int64
+}
+
+func runRPScript(p Params, suppress bool, script []rpOp) ([]rpSnapshot, *eventsim.Engine) {
+	eng := eventsim.NewEngine(1)
+	live := p
+	rp := NewRP(eng, func() *Params { return &live }, 100e9)
+	rp.SetSuppression(suppress)
+	rp.Start()
+	snaps := make([]rpSnapshot, 0, len(script))
+	for _, op := range script {
+		if op.wait > 0 {
+			eng.RunUntil(eng.Now() + op.wait)
+		}
+		if op.cnp {
+			rp.OnCNP()
+		}
+		if op.bytes > 0 {
+			rp.OnBytesSent(op.bytes)
+		}
+		snaps = append(snaps, rpSnapshot{eng.Now(), rp.Rate(), rp.TargetRate(), rp.Alpha(), rp.Cuts})
+	}
+	return snaps, eng
+}
+
+func diffSnapshots(t *testing.T, plain, sup []rpSnapshot) {
+	t.Helper()
+	if len(plain) != len(sup) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(plain), len(sup))
+	}
+	for i := range plain {
+		if plain[i] != sup[i] {
+			t.Fatalf("op %d diverges:\n  plain: %+v\n  supp:  %+v", i, plain[i], sup[i])
+		}
+	}
+}
+
+// quiescenceScript exercises every suppression transition: congestion
+// (cuts pull rc off line rate, CNPs pump alpha up), recovery back to
+// line rate (increase timer parks), a long idle stretch (alpha decays
+// through the snap floor to exactly 0, alpha timer parks), then a fresh
+// CNP burst landing mid-grid (both timers must unpark on the schedule a
+// never-parked RP would have kept), and a final idle tail.
+func quiescenceScript(p Params) []rpOp {
+	us := eventsim.Microsecond
+	ops := []rpOp{
+		{wait: 3 * us, cnp: true},
+		{wait: p.RateReduceMonitorPeriod + us, cnp: true},
+		{bytes: p.RPGByteReset * 2},
+	}
+	// Recovery + decay: long enough for rc to climb back to line rate
+	// (fast recovery reaches exactly line rate in ~45 fires) and — when G
+	// is large enough to decay alpha to the snap floor within the window —
+	// for the alpha timer to park too.
+	ops = append(ops, rpOp{wait: 600 * p.AlphaUpdateInterval})
+	// CNP at an instant that is NOT a multiple of either timer interval:
+	// the unpark grid replay has to get the phase right, not just "soon".
+	ops = append(ops,
+		rpOp{wait: p.AlphaUpdateInterval/3 + 7, cnp: true},
+		rpOp{wait: p.AlphaUpdateInterval / 2},
+		rpOp{wait: p.RateReduceMonitorPeriod + us, cnp: true},
+		rpOp{bytes: p.RPGByteReset},
+		// Second quiescence window, then a last CNP to re-check unpark.
+		rpOp{wait: 600 * p.AlphaUpdateInterval},
+		rpOp{wait: 13, cnp: true},
+		rpOp{wait: 20 * p.AlphaUpdateInterval},
+	)
+	return ops
+}
+
+func TestRPSuppressionTraceInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"default", func(p *Params) {}},
+		// InitialAlpha 0 parks both timers at Start (the common case for
+		// fleet-scale idle QPs) — the whole point of suppression.
+		{"initial-alpha-0", func(p *Params) { p.InitialAlpha = 0 }},
+		{"clamp-tgt", func(p *Params) { p.ClampTgtRate = true }},
+		// G=1/2 decays alpha to the snap floor in ~70 intervals, so the
+		// script's idle stretches exercise decay-to-zero parking and the
+		// mid-grid CNP unpark — default G (1/256) would need ~11k
+		// intervals to get there.
+		{"fast-decay", func(p *Params) { p.G = 0.5; p.InitialAlpha = 0 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mut(&p)
+			script := quiescenceScript(p)
+			plain, _ := runRPScript(p, false, script)
+			sup, _ := runRPScript(p, true, script)
+			diffSnapshots(t, plain, sup)
+		})
+	}
+}
+
+// The invariance must hold under arbitrary interleavings, not just the
+// handcrafted script: random waits (including long quiescent stretches),
+// CNPs, and byte credits.
+func TestRPSuppressionInvariantRandomized(t *testing.T) {
+	p := DefaultParams()
+	p.InitialAlpha = 0
+	p.G = 0.5 // fast decay: long gaps actually re-park the alpha timer
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 20; trial++ {
+		script := make([]rpOp, 0, 40)
+		for i := 0; i < 40; i++ {
+			r := next()
+			op := rpOp{wait: eventsim.Time(r % uint64(5*p.AlphaUpdateInterval))}
+			if r%7 == 0 {
+				// Occasional long idle gap to force a park.
+				op.wait = eventsim.Time(500+r%200) * p.AlphaUpdateInterval
+			}
+			switch r % 3 {
+			case 0:
+				op.cnp = true
+			case 1:
+				op.bytes = int64(r % uint64(2*p.RPGByteReset))
+			}
+			script = append(script, op)
+		}
+		plain, _ := runRPScript(p, false, script)
+		sup, _ := runRPScript(p, true, script)
+		diffSnapshots(t, plain, sup)
+	}
+}
+
+// Suppression must actually remove work: an idle QP parked at line rate
+// with alpha decayed schedules nothing, so the engine drains.
+func TestRPSuppressionParksTimers(t *testing.T) {
+	p := DefaultParams()
+	p.InitialAlpha = 0
+	// Fast alpha decay so the post-CNP re-quiescing fits in a short run
+	// (default G would take ~11k intervals to reach the snap floor).
+	p.G = 0.5
+	eng := eventsim.NewEngine(1)
+	rp := NewRP(eng, func() *Params { return &p }, 100e9)
+	rp.SetSuppression(true)
+	rp.Start()
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("quiescent RP armed %d timers at Start, want 0 (parked)", got)
+	}
+	// A CNP wakes both timers...
+	eng.RunUntil(5 * eventsim.Microsecond)
+	rp.OnCNP()
+	if got := eng.Pending(); got != 2 {
+		t.Fatalf("Pending = %d after CNP, want 2 (both timers live)", got)
+	}
+	// ...and a long quiet run parks them again.
+	eng.RunUntil(eng.Now() + 600*p.AlphaUpdateInterval)
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after re-quiescing, want 0", got)
+	}
+	if rp.Rate() != 100e9 || rp.Alpha() != 0 {
+		t.Fatalf("parked state rc=%g alpha=%g, want line rate / 0", rp.Rate(), rp.Alpha())
+	}
+	// Disabling suppression mid-park must re-arm both timers.
+	rp.SetSuppression(false)
+	if got := eng.Pending(); got != 2 {
+		t.Fatalf("Pending = %d after SetSuppression(false), want 2", got)
+	}
+	rp.Stop()
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after Stop, want 0", got)
+	}
+}
+
+// The alpha unpark replays the original fire grid: a CNP landing between
+// two would-be fires re-arms at the NEXT grid point, not now+interval.
+func TestRPSuppressionAlphaGridPhase(t *testing.T) {
+	p := DefaultParams()
+	p.InitialAlpha = 0
+	i := p.AlphaUpdateInterval
+	eng := eventsim.NewEngine(1)
+	rp := NewRP(eng, func() *Params { return &p }, 100e9)
+	rp.SetSuppression(true)
+	rp.Start() // parks immediately; alphaAnchor = 0
+	// CNP at 2.5 intervals in: the grid a never-parked RP keeps is
+	// {i, 2i, 3i, ...}, so the next decay must land at exactly 3i.
+	at := 2*i + i/2
+	eng.RunUntil(at)
+	rp.OnCNP()
+	alphaAfterCNP := rp.Alpha()
+	if alphaAfterCNP != p.G {
+		t.Fatalf("alpha after CNP = %g, want G = %g", alphaAfterCNP, p.G)
+	}
+	if next, ok := eng.NextEventTime(); !ok || next != 3*i {
+		t.Fatalf("alpha re-armed at %v (ok=%v), want grid point %v", next, ok, 3*i)
+	}
+	// The 3i fire sees cnpSinceAlpha and skips the decay; the 4i fire —
+	// still on the original grid — applies it.
+	eng.RunUntil(3 * i)
+	if rp.Alpha() != alphaAfterCNP {
+		t.Fatalf("alpha after cnp-flagged fire = %g, want unchanged %g", rp.Alpha(), alphaAfterCNP)
+	}
+	eng.RunUntil(4 * i)
+	want := alphaAfterCNP * (1 - p.G)
+	if rp.Alpha() != want {
+		t.Fatalf("alpha after grid fire = %g, want %g", rp.Alpha(), want)
+	}
+}

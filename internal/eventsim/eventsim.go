@@ -16,10 +16,31 @@
 // container/heap of boxed pointers. Cancellation stays safe without
 // retaining pointers because every EventID carries the slot's generation
 // counter, which is bumped each time the slot fires or is cancelled.
+//
+// # Timer wheel ordering contract
+//
+// Recurring, frequently cancelled timers (TimerAfter / RearmAfter /
+// RearmAt) take a second path: a hierarchical timing wheel with O(1)
+// schedule, cancel, and reschedule-in-place. The wheel is a staging area,
+// never an ordering authority — before any pop the engine flushes every
+// wheel slot that could contain an event at or before the heap's head
+// into the heap, where the single structural (at, key, seq) comparator
+// decides the final order. A timer therefore fires in exactly the
+// position it would have occupied had it been heap-scheduled all along:
+// the merged pop stream is byte-identical to a heap-only engine's, which
+// is what lets the chaos/dispatch/sharded golden traces stay frozen
+// while the timer population moves off the heap. Every rearm consumes
+// exactly one sequence number, the same budget as the Cancel+After pair
+// it replaces, so tie-break order downstream of a rearm is unchanged
+// too. The win is structural: timers that are cancelled or re-armed
+// before firing (the per-CNP DCQCN churn) never touch the heap at all,
+// and the thousands that merely sit pending stop inflating the heap
+// that packet events have to sift through.
 package eventsim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 )
@@ -79,10 +100,19 @@ type event struct {
 	// released (fire or cancel), so EventIDs issued for earlier occupants
 	// can never cancel the current one.
 	gen uint32
-	// heapIdx is the slot's position in the heap, or -1 while unqueued.
+	// heapIdx is the slot's position in the heap, -1 while unqueued, or
+	// wheelQueued while the event is parked in the timing wheel.
 	heapIdx int32
-	// nextFree links released slots into the engine's free-list.
-	nextFree int32
+	// link is the slot's intrusive next pointer, serving double duty: the
+	// free-list chain while released, the wheel slot's doubly linked list
+	// while heapIdx == wheelQueued.
+	link int32
+	// wprev is the wheel list's back pointer (-1 at the head); only
+	// meaningful while heapIdx == wheelQueued.
+	wprev int32
+	// wslot packs the wheel (level, slot) the event is parked in as
+	// level*wheelSlots+slot; only meaningful while heapIdx == wheelQueued.
+	wslot int16
 }
 
 // EventID identifies a scheduled event so it can be cancelled. It is a
@@ -93,6 +123,32 @@ type event struct {
 type EventID struct {
 	slot int32
 	gen  uint32
+}
+
+// Timing-wheel geometry. Six levels of 64 slots at a 1.024 µs base tick
+// cover horizons up to 2^36 ticks (~19 hours of virtual time); anything
+// beyond falls back to the heap. Level l slot widths are 2^(10+6l) ns, so
+// the DCQCN timer range (microseconds to milliseconds) lands in levels
+// 0–2.
+const (
+	wheelTickShift = 10 // ns per tick = 1 << wheelTickShift
+	wheelBits      = 6  // slots per level = 1 << wheelBits
+	wheelSlots     = 1 << wheelBits
+	wheelMask      = wheelSlots - 1
+	wheelLevels    = 6
+
+	// wheelQueued is the heapIdx sentinel marking an event parked in the
+	// wheel rather than the heap.
+	wheelQueued = -2
+)
+
+// wheelLevel is one ring of the hierarchical wheel: a 64-bit occupancy
+// bitmap plus the head of each slot's intrusive event list. head[i] is
+// only meaningful while bit i of occupied is set, so no -1 initialization
+// is needed.
+type wheelLevel struct {
+	occupied uint64
+	head     [wheelSlots]int32
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; call
@@ -109,6 +165,16 @@ type Engine struct {
 	// children of a node in one cache line of slot indices.
 	heap []int32
 
+	// wheel stages timer events (TimerAfter/RearmAfter/RearmAt) until
+	// they are due; wheelTick is the level-0 tick the wheel is anchored
+	// at, wheelCount the events currently parked. See the package
+	// comment's ordering contract. wheelOff (SetWheelEnabled) forces
+	// every timer onto the heap — the differential-testing baseline.
+	wheel      [wheelLevels]wheelLevel
+	wheelTick  int64
+	wheelCount int
+	wheelOff   bool
+
 	rng     *rand.Rand
 	stopped bool
 
@@ -124,6 +190,24 @@ func NewEngine(seed int64) *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Reserve grows the event slab and heap storage so at least n events can
+// be pending at once without either slice reallocating. Purely a
+// capacity hint for benchmarks and latency-sensitive callers that want
+// the steady state allocation-free from the first event; scheduling
+// beyond n still works and grows as usual.
+func (e *Engine) Reserve(n int) {
+	if cap(e.slots) < n {
+		slots := make([]event, len(e.slots), n)
+		copy(slots, e.slots)
+		e.slots = slots
+	}
+	if cap(e.heap) < n {
+		heap := make([]int32, len(e.heap), n)
+		copy(heap, e.heap)
+		e.heap = heap
+	}
+}
 
 // Rand returns a new deterministic random stream for a component. Each call
 // returns an independent generator seeded from the engine's master stream,
@@ -151,25 +235,14 @@ func (e *Engine) ScheduleKeyed(at Time, key uint64, fn Handler) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
 	}
-	slot := e.freeHead
-	if slot >= 0 {
-		e.freeHead = e.slots[slot].nextFree
-	} else {
-		// Grow the slab. Generations start at 1 so the zero EventID never
-		// matches a live slot.
-		e.slots = append(e.slots, event{gen: 1})
-		slot = int32(len(e.slots) - 1)
-	}
+	slot := e.alloc()
 	ev := &e.slots[slot]
 	ev.at = at
 	ev.key = key
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
-	i := len(e.heap)
-	e.heap = append(e.heap, slot)
-	ev.heapIdx = int32(i)
-	e.siftUp(i)
+	e.heapPush(slot)
 	return EventID{slot: slot, gen: ev.gen}
 }
 
@@ -181,6 +254,95 @@ func (e *Engine) After(d Time, fn Handler) EventID {
 	return e.Schedule(e.now+d, fn)
 }
 
+// TimerAfter runs fn after delay d, routed through the timing wheel: use
+// it for recurring or frequently cancelled timers, whose schedule and
+// cancel then cost O(1) instead of a heap sift. Ordering is identical to
+// After (key 0, next sequence number) — see the package comment's
+// ordering contract.
+func (e *Engine) TimerAfter(d Time, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return e.timerAt(e.now+d, fn)
+}
+
+// RearmAfter reschedules a live timer to fire after delay d, replacing
+// the Cancel + After pair with one O(1) reschedule-in-place: the event
+// keeps its slot and EventID. A stale id (the timer fired, was cancelled,
+// or was never armed) schedules fn afresh via TimerAfter, so callers can
+// rearm unconditionally from inside the timer's own handler. Either way
+// exactly one sequence number is consumed — the same as Cancel+After —
+// keeping same-timestamp tie order byte-identical to the churn path it
+// replaces.
+func (e *Engine) RearmAfter(id EventID, d Time, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return e.RearmAt(id, e.now+d, fn)
+}
+
+// RearmAt is RearmAfter with an absolute deadline.
+func (e *Engine) RearmAt(id EventID, at Time, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("eventsim: rearm at %v before now %v", at, e.now))
+	}
+	if id.gen != 0 && int(id.slot) < len(e.slots) {
+		ev := &e.slots[id.slot]
+		if ev.gen == id.gen {
+			// Live: detach from wherever it is queued and reinsert in
+			// place. The slot and generation survive, so id stays valid.
+			if ev.heapIdx == wheelQueued {
+				e.wheelUnlink(id.slot)
+			} else {
+				e.removeAt(int(ev.heapIdx))
+			}
+			ev.at = at
+			ev.key = 0
+			ev.seq = e.seq
+			ev.fn = fn
+			e.seq++
+			e.wheelInsert(id.slot)
+			return id
+		}
+	}
+	return e.timerAt(at, fn)
+}
+
+// timerAt allocates a fresh timer event and parks it in the wheel (or the
+// heap, when the wheel is off or the deadline is due or out of range).
+func (e *Engine) timerAt(at Time, fn Handler) EventID {
+	slot := e.alloc()
+	ev := &e.slots[slot]
+	ev.at = at
+	ev.key = 0
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	e.wheelInsert(slot)
+	return EventID{slot: slot, gen: ev.gen}
+}
+
+// alloc takes a slot from the free-list, growing the slab when empty.
+func (e *Engine) alloc() int32 {
+	slot := e.freeHead
+	if slot >= 0 {
+		e.freeHead = e.slots[slot].link
+		return slot
+	}
+	// Grow the slab. Generations start at 1 so the zero EventID never
+	// matches a live slot.
+	e.slots = append(e.slots, event{gen: 1})
+	return int32(len(e.slots) - 1)
+}
+
+// heapPush appends slot to the heap and restores the heap property.
+func (e *Engine) heapPush(slot int32) {
+	i := len(e.heap)
+	e.heap = append(e.heap, slot)
+	e.slots[slot].heapIdx = int32(i)
+	e.siftUp(i)
+}
+
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired, cancelling twice, or cancelling the zero EventID is a
 // no-op: the generation check rejects stale IDs even after slot reuse.
@@ -189,10 +351,14 @@ func (e *Engine) Cancel(id EventID) {
 		return
 	}
 	ev := &e.slots[id.slot]
-	if ev.gen != id.gen || ev.heapIdx < 0 {
+	if ev.gen != id.gen || ev.heapIdx == -1 {
 		return
 	}
-	e.removeAt(int(ev.heapIdx))
+	if ev.heapIdx == wheelQueued {
+		e.wheelUnlink(id.slot)
+	} else {
+		e.removeAt(int(ev.heapIdx))
+	}
 	e.release(id.slot)
 }
 
@@ -202,29 +368,177 @@ func (e *Engine) release(slot int32) {
 	ev := &e.slots[slot]
 	ev.fn = nil
 	ev.gen++
-	ev.nextFree = e.freeHead
+	ev.link = e.freeHead
 	e.freeHead = slot
 }
 
 // Stop halts the run loop after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetWheelEnabled turns the timing-wheel path on (the default) or off.
+// With the wheel off, TimerAfter/RearmAfter/RearmAt route through the
+// heap — behaviorally identical by the ordering contract, just slower
+// under timer churn. Disabling drains any parked timers into the heap
+// first, so the switch is safe at any quiescent point. This exists for
+// differential tests and heap-only benchmark baselines.
+func (e *Engine) SetWheelEnabled(on bool) {
+	if !on && e.wheelCount > 0 {
+		for l := range e.wheel {
+			w := &e.wheel[l]
+			for w.occupied != 0 {
+				idx := bits.TrailingZeros64(w.occupied)
+				w.occupied &^= 1 << uint(idx)
+				for s := w.head[idx]; s >= 0; {
+					next := e.slots[s].link
+					e.wheelCount--
+					e.heapPush(s)
+					s = next
+				}
+			}
+		}
+	}
+	e.wheelOff = !on
+}
+
 // Pending reports the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return len(e.heap) + e.wheelCount }
 
 // NextEventTime reports the timestamp of the earliest pending event, and
 // false when the queue is empty. The sharded coordinator uses it to size
-// conservative time windows (skip ahead when every shard is idle).
+// conservative time windows (skip ahead when every shard is idle); the
+// reported time is exact — wheel slots that could precede the heap head
+// are flushed first — so window sizing is identical to a heap-only run.
 func (e *Engine) NextEventTime() (Time, bool) {
+	if e.wheelCount > 0 {
+		e.syncWheel()
+	}
 	if len(e.heap) == 0 {
 		return 0, false
 	}
 	return e.slots[e.heap[0]].at, true
 }
 
+// wheelInsert parks an already-filled event slot in the wheel, or pushes
+// it onto the heap when the wheel is off, the deadline is not strictly
+// beyond the wheel's current tick, or the horizon exceeds the wheel's
+// range.
+func (e *Engine) wheelInsert(slot int32) {
+	if e.wheelOff {
+		e.heapPush(slot)
+		return
+	}
+	if e.wheelCount == 0 {
+		// Empty wheel: re-anchor at the present so a long-idle engine
+		// doesn't file near-term timers into far-out levels.
+		if t := int64(e.now) >> wheelTickShift; t > e.wheelTick {
+			e.wheelTick = t
+		}
+	}
+	ev := &e.slots[slot]
+	tick := int64(ev.at) >> wheelTickShift
+	if tick <= e.wheelTick {
+		e.heapPush(slot)
+		return
+	}
+	lvl := (bits.Len64(uint64(tick^e.wheelTick)) - 1) / wheelBits
+	if lvl >= wheelLevels {
+		e.heapPush(slot)
+		return
+	}
+	idx := int(tick>>(uint(lvl)*wheelBits)) & wheelMask
+	w := &e.wheel[lvl]
+	if w.occupied&(1<<uint(idx)) != 0 {
+		head := w.head[idx]
+		ev.link = head
+		e.slots[head].wprev = slot
+	} else {
+		ev.link = -1
+		w.occupied |= 1 << uint(idx)
+	}
+	ev.wprev = -1
+	w.head[idx] = slot
+	ev.wslot = int16(lvl*wheelSlots + idx)
+	ev.heapIdx = wheelQueued
+	e.wheelCount++
+}
+
+// wheelUnlink removes a parked event from its wheel slot list in O(1).
+func (e *Engine) wheelUnlink(slot int32) {
+	ev := &e.slots[slot]
+	lvl, idx := int(ev.wslot)/wheelSlots, int(ev.wslot)%wheelSlots
+	w := &e.wheel[lvl]
+	if ev.wprev >= 0 {
+		e.slots[ev.wprev].link = ev.link
+	} else if ev.link >= 0 {
+		w.head[idx] = ev.link
+	} else {
+		w.occupied &^= 1 << uint(idx)
+	}
+	if ev.link >= 0 {
+		e.slots[ev.link].wprev = ev.wprev
+	}
+	ev.heapIdx = -1
+	e.wheelCount--
+}
+
+// wheelEarliest locates the wheel's earliest occupied slot and the first
+// level-0 tick its range covers. Slot starts are strictly layered by
+// level (all level-l slot ranges precede every level-(l+1) slot start,
+// given inserts anchored at wheelTick), so the first non-empty level owns
+// the global minimum; within a level the next occupied slot at or after
+// wheelTick's position falls out of one rotate + trailing-zeros.
+func (e *Engine) wheelEarliest() (lvl, idx int, startTick int64) {
+	for l := 0; l < wheelLevels; l++ {
+		occ := e.wheel[l].occupied
+		if occ == 0 {
+			continue
+		}
+		shift := uint(l) * wheelBits
+		cur := e.wheelTick >> shift
+		base := int(cur) & wheelMask
+		d := bits.TrailingZeros64(bits.RotateLeft64(occ, -base))
+		return l, (base + d) & wheelMask, (cur + int64(d)) << shift
+	}
+	panic("eventsim: wheelEarliest on empty wheel")
+}
+
+// syncWheel flushes wheel slots into the heap until the heap's head is
+// strictly earlier than every parked timer — the point at which popping
+// from the heap alone is provably identical to a heap-only engine.
+// Level-0 slots flush straight to the heap; higher slots cascade their
+// events down a level (or to the heap once due). wheelTick only ever
+// advances, and never past an occupied slot's start.
+func (e *Engine) syncWheel() {
+	for e.wheelCount > 0 {
+		lvl, idx, startTick := e.wheelEarliest()
+		if len(e.heap) > 0 && e.slots[e.heap[0]].at < Time(startTick<<wheelTickShift) {
+			return
+		}
+		if startTick > e.wheelTick {
+			e.wheelTick = startTick
+		}
+		w := &e.wheel[lvl]
+		head := w.head[idx]
+		w.occupied &^= 1 << uint(idx)
+		for s := head; s >= 0; {
+			next := e.slots[s].link
+			e.wheelCount--
+			if lvl == 0 {
+				e.heapPush(s)
+			} else {
+				e.wheelInsert(s)
+			}
+			s = next
+		}
+	}
+}
+
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
+	if e.wheelCount > 0 {
+		e.syncWheel()
+	}
 	if len(e.heap) == 0 {
 		return false
 	}
@@ -247,12 +561,28 @@ func (e *Engine) Run() {
 	}
 }
 
+// peek reports the earliest pending timestamp across heap and wheel,
+// flushing due wheel slots so the answer is exact.
+func (e *Engine) peek() (Time, bool) {
+	if e.wheelCount > 0 {
+		e.syncWheel()
+	}
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slots[e.heap[0]].at, true
+}
+
 // RunUntil executes events with timestamps ≤ deadline, then advances the
 // clock to exactly deadline. Events scheduled beyond deadline remain queued
 // so the simulation can be resumed.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
+	for !e.stopped {
+		t, ok := e.peek()
+		if !ok || t > deadline {
+			break
+		}
 		if !e.Step() {
 			break
 		}
@@ -270,7 +600,11 @@ func (e *Engine) RunUntil(deadline Time) {
 // next window runs.
 func (e *Engine) RunBefore(horizon Time) {
 	e.stopped = false
-	for !e.stopped && len(e.heap) > 0 && e.slots[e.heap[0]].at < horizon {
+	for !e.stopped {
+		t, ok := e.peek()
+		if !ok || t >= horizon {
+			break
+		}
 		if !e.Step() {
 			break
 		}

@@ -1,0 +1,329 @@
+package eventsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// wheelRec replays one scripted op sequence on a fresh engine and returns
+// the full pop stream as "time/tag" strings plus the final engine state.
+// The same script drives a wheel-enabled and a heap-only engine in
+// TestWheelMatchesHeap / FuzzWheelVsHeap; any divergence in the streams
+// breaks the ordering contract.
+type wheelRec struct {
+	eng   *Engine
+	log   []string
+	ids   []EventID // every id ever issued, for cancel/rearm targets
+	tag   int
+	steps int
+}
+
+// op codes for the differential script. Each op consumes a few bytes of
+// the fuzz input; values are decoded modulo small ranges so every byte
+// string is a valid script.
+const (
+	opSchedule = iota // heap path, key 0
+	opKeyed           // heap path, nonzero key (cross-ordering vs timers)
+	opAfter           // heap path, relative
+	opTimer           // wheel path
+	opRearm           // wheel path, live-or-stale rearm
+	opCancel
+	opStepN // interleave: pop a few events mid-script
+	opCount
+)
+
+func (r *wheelRec) fire(tag int, at Time) {
+	r.log = append(r.log, fmt.Sprintf("%d/%d@%d", at, tag, r.eng.Now()))
+}
+
+// apply decodes and applies one op, returning the number of script bytes
+// consumed. Handlers capture only the recorder and a tag, so the two
+// engines execute identical logic.
+func (r *wheelRec) apply(script []byte) int {
+	if len(script) < 4 {
+		return len(script)
+	}
+	op := int(script[0]) % opCount
+	a, b2, c := int(script[1]), int(script[2]), int(script[3])
+	now := r.eng.Now()
+	tag := r.tag
+	r.tag++
+	switch op {
+	case opSchedule:
+		at := now + Time(a)*Microsecond/4
+		r.ids = append(r.ids, r.eng.Schedule(at, func() { r.fire(tag, at) }))
+	case opKeyed:
+		at := now + Time(a)*Microsecond/4
+		key := uint64(b2%5) + 1
+		r.ids = append(r.ids, r.eng.ScheduleKeyed(at, key, func() { r.fire(tag, at) }))
+	case opAfter:
+		d := Time(a) * Microsecond / 8
+		at := now + d
+		r.ids = append(r.ids, r.eng.After(d, func() { r.fire(tag, at) }))
+	case opTimer:
+		// Spread delays across wheel levels: sub-tick to multi-millisecond.
+		d := Time(a) * Time(b2+1) * Microsecond / 16
+		at := now + d
+		r.ids = append(r.ids, r.eng.TimerAfter(d, func() { r.fire(tag, at) }))
+	case opRearm:
+		d := Time(a) * Microsecond / 4
+		at := now + d
+		var id EventID
+		if len(r.ids) > 0 {
+			id = r.ids[b2%len(r.ids)]
+		}
+		r.ids = append(r.ids, r.eng.RearmAfter(id, d, func() { r.fire(tag, at) }))
+	case opCancel:
+		if len(r.ids) > 0 {
+			r.eng.Cancel(r.ids[a%len(r.ids)])
+		}
+	case opStepN:
+		for i := 0; i < c%4; i++ {
+			if !r.eng.Step() {
+				break
+			}
+			r.steps++
+		}
+	}
+	return 4
+}
+
+// runScript drives a full differential arm: apply every op, then drain.
+func runScript(script []byte, wheel bool) *wheelRec {
+	r := &wheelRec{eng: NewEngine(42)}
+	r.eng.SetWheelEnabled(wheel)
+	for len(script) > 0 {
+		script = script[r.apply(script):]
+	}
+	r.eng.Run()
+	return r
+}
+
+// diffScripts asserts the two arms produced identical pop streams and
+// identical final state.
+func diffScripts(t *testing.T, script []byte) {
+	t.Helper()
+	w := runScript(script, true)
+	h := runScript(script, false)
+	if len(w.log) != len(h.log) {
+		t.Fatalf("pop stream length: wheel %d, heap %d", len(w.log), len(h.log))
+	}
+	for i := range w.log {
+		if w.log[i] != h.log[i] {
+			t.Fatalf("pop %d: wheel %q, heap %q", i, w.log[i], h.log[i])
+		}
+	}
+	if w.eng.Now() != h.eng.Now() {
+		t.Fatalf("final time: wheel %v, heap %v", w.eng.Now(), h.eng.Now())
+	}
+	if w.eng.Processed != h.eng.Processed {
+		t.Fatalf("processed: wheel %d, heap %d", w.eng.Processed, h.eng.Processed)
+	}
+}
+
+// TestWheelMatchesHeap replays deterministic pseudo-random scripts — a
+// seeded version of the fuzz target — so the differential check always
+// runs in plain `go test`.
+func TestWheelMatchesHeap(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		eng := NewEngine(seed + 1000)
+		rng := eng.Rand()
+		script := make([]byte, 400+rng.Intn(400))
+		rng.Read(script)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			diffScripts(t, script)
+		})
+	}
+}
+
+// FuzzWheelVsHeap is the open-ended form: arbitrary byte strings decode
+// to op scripts, and the wheel-enabled engine must pop byte-identically
+// to the heap-only engine on every one.
+func FuzzWheelVsHeap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 0, 3, 200, 1, 0, 4, 50, 0, 0, 6, 0, 0, 3})
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 4096 {
+			script = script[:4096]
+		}
+		diffScripts(t, script)
+	})
+}
+
+// TestWheelCrossOrdering pins the merged order at a single contended
+// timestamp: keyed deliveries, plain schedules, and wheel timers all
+// landing at the same instant must pop in (key, seq) order regardless of
+// which structure staged them.
+func TestWheelCrossOrdering(t *testing.T) {
+	eng := NewEngine(1)
+	at := 100 * Microsecond
+	var got []string
+	rec := func(s string) func() { return func() { got = append(got, s) } }
+	// Interleave the three kinds so sequence numbers alternate across
+	// structures: timers get seq 0,3; keyed get 1,4; plain get 2,5.
+	eng.TimerAfter(at, rec("t0"))
+	eng.ScheduleKeyed(at, 7, rec("k1"))
+	eng.Schedule(at, rec("p2"))
+	eng.TimerAfter(at, rec("t3"))
+	eng.ScheduleKeyed(at, 3, rec("k4"))
+	eng.Schedule(at, rec("p5"))
+	eng.Run()
+	want := []string{"t0", "p2", "t3", "p5", "k4", "k1"} // key 0 seq-order, then key 3, key 7
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRearmAfterSemantics covers the live and stale branches explicitly.
+func TestRearmAfterSemantics(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	fn := func() { fired++ }
+
+	// Stale (zero) id schedules afresh.
+	id := eng.RearmAfter(EventID{}, 5*Microsecond, fn)
+	// Live id reschedules in place: same id, old deadline gone.
+	id2 := eng.RearmAfter(id, 10*Microsecond, fn)
+	if id2 != id {
+		t.Fatalf("live rearm changed id: %v -> %v", id, id2)
+	}
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1 (old deadline must be replaced)", fired)
+	}
+	if eng.Now() != 10*Microsecond {
+		t.Fatalf("fired at %v, want 10µs", eng.Now())
+	}
+
+	// After firing the id is stale; rearming it schedules afresh.
+	id3 := eng.RearmAfter(id, 3*Microsecond, fn)
+	if id3 == id {
+		t.Fatalf("stale rearm reused dead id %v", id)
+	}
+	eng.Cancel(id3)
+	if eng.Step() {
+		t.Fatal("cancelled rearm still fired")
+	}
+}
+
+// TestWheelLongHorizon exercises multi-level cascades: timers spanning
+// every wheel level (plus beyond-range heap fallback) must fire in
+// deadline order.
+func TestWheelLongHorizon(t *testing.T) {
+	eng := NewEngine(1)
+	var got []Time
+	// Delays from sub-tick to beyond the wheel range (~19.5h virtual).
+	delays := []Time{
+		500 * Nanosecond, 3 * Microsecond, 90 * Microsecond,
+		2 * Millisecond, 170 * Millisecond, 9 * Second,
+		800 * Second, 90000 * Second,
+	}
+	for _, d := range delays {
+		d := d
+		eng.TimerAfter(d, func() { got = append(got, eng.Now()) })
+	}
+	eng.Run()
+	if len(got) != len(delays) {
+		t.Fatalf("fired %d of %d timers", len(got), len(delays))
+	}
+	for i, d := range delays {
+		if got[i] != d {
+			t.Fatalf("timer %d fired at %v, want %v", i, got[i], d)
+		}
+	}
+}
+
+// TestWheelOpsZeroAlloc pins the wheel hot path allocation-free in steady
+// state: schedule, cancel, rearm, and a fire/re-arm cycle must not
+// allocate once the slab has warmed up.
+func TestWheelOpsZeroAlloc(t *testing.T) {
+	eng := NewEngine(1)
+	fn := func() {}
+	// Warm the slab and the heap backing array.
+	var warm []EventID
+	for i := 0; i < 64; i++ {
+		warm = append(warm, eng.TimerAfter(Time(i+1)*Microsecond, fn))
+	}
+	for _, id := range warm {
+		eng.Cancel(id)
+	}
+
+	if a := testing.AllocsPerRun(200, func() {
+		id := eng.TimerAfter(40*Microsecond, fn)
+		eng.Cancel(id)
+	}); a != 0 {
+		t.Fatalf("TimerAfter+Cancel allocates %v/op, want 0", a)
+	}
+
+	id := eng.TimerAfter(50*Microsecond, fn)
+	if a := testing.AllocsPerRun(200, func() {
+		id = eng.RearmAfter(id, 50*Microsecond, fn)
+	}); a != 0 {
+		t.Fatalf("RearmAfter allocates %v/op, want 0", a)
+	}
+	eng.Cancel(id)
+
+	// Self-re-arming timer driven through Step: the recurring-timer
+	// steady state of a DCQCN RP.
+	var tick func()
+	var tickID EventID
+	tick = func() { tickID = eng.RearmAfter(tickID, 30*Microsecond, tick) }
+	tickID = eng.TimerAfter(30*Microsecond, tick)
+	if a := testing.AllocsPerRun(200, func() {
+		if !eng.Step() {
+			t.Fatal("recurring timer vanished")
+		}
+	}); a != 0 {
+		t.Fatalf("recurring fire+rearm allocates %v/op, want 0", a)
+	}
+}
+
+// BenchmarkTimerWheel measures the wheel's O(1) primitives against the
+// heap path under a realistic pending population. The benchjson gate
+// pins all sub-benches at 0 allocs/op.
+func BenchmarkTimerWheel(b *testing.B) {
+	fn := func() {}
+	// pending timers forming the background population a DCQCN fabric
+	// carries: two timers per QP across thousands of QPs.
+	const pending = 32768
+	build := func(wheel bool) (*Engine, []EventID) {
+		eng := NewEngine(1)
+		eng.SetWheelEnabled(wheel)
+		ids := make([]EventID, pending)
+		for i := range ids {
+			ids[i] = eng.TimerAfter(Time(i%4096+1)*Microsecond, fn)
+		}
+		return eng, ids
+	}
+	for _, arm := range []struct {
+		name  string
+		wheel bool
+	}{{"wheel", true}, {"heap", false}} {
+		eng, ids := build(arm.wheel)
+		b.Run("rearm/"+arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				id := ids[i%pending]
+				ids[i%pending] = eng.RearmAfter(id, Time(i%4096+1)*Microsecond, fn)
+			}
+		})
+		eng2, ids2 := build(arm.wheel)
+		b.Run("cancel+schedule/"+arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng2.Cancel(ids2[i%pending])
+				ids2[i%pending] = eng2.TimerAfter(Time(i%4096+1)*Microsecond, fn)
+			}
+		})
+	}
+}

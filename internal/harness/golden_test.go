@@ -89,6 +89,27 @@ func TestChaosTraceGolden(t *testing.T) {
 	}
 }
 
+// TestChaosTraceGoldenSuppressed replays the linkflap golden with
+// quiescent-QP timer suppression enabled. Suppression elides timer fires
+// that provably change no observable state (see dcqcn.RP.SetSuppression),
+// so the trace — fault schedule, samples, dispatches — must stay
+// byte-identical to the stock golden even though the engine processes
+// fewer events. This pins the invariance argument against the full
+// chaos stack, not just the RP unit tests.
+func TestChaosTraceGoldenSuppressed(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "chaos_linkflap_seed7_quick.golden.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := QuickScale()
+	scale.Net.SuppressQuiescentTimers = true
+	var buf bytes.Buffer
+	if _, err := ChaosLinkFlap(scale, 40*eventsim.Millisecond, 7, &buf); err != nil {
+		t.Fatal(err)
+	}
+	diffTraces(t, "suppressed trace diverges from stock golden", buf.Bytes(), want)
+}
+
 // TestChaosTraceGoldenSharded is the determinism contract applied to the
 // full chaos stack: the same experiment at the same seed must emit a
 // byte-identical trace whether the fabric runs on one engine shard or

@@ -90,8 +90,12 @@ type EgressPort struct {
 	// Transmitter state for the persistent serialization-done handler:
 	// exactly one packet serializes at a time, so its queue entry, class,
 	// and the delivery delay captured at transmit start live in fields
-	// instead of a per-packet closure.
+	// instead of a per-packet closure. txDoneEv is the last serialization
+	// timer; it has always fired by the next transmit (the transmitter is
+	// strictly one-at-a-time), so re-arming it through RearmAfter just
+	// recycles the same wheel slot run after run.
 	txDoneFn   eventsim.Handler
+	txDoneEv   eventsim.EventID
 	inflight   queueEntry
 	inflightCl int
 	inflightDl eventsim.Time
@@ -403,7 +407,7 @@ func (p *EgressPort) transmit(e queueEntry, class int) {
 	// degradation fault applied mid-flight leaves this packet's arrival
 	// where the pre-change semantics put it.
 	p.inflightDl = p.prop + p.extraDelay
-	p.eng.After(p.serialization(pkt.WireBytes), p.txDoneFn)
+	p.txDoneEv = p.eng.RearmAfter(p.txDoneEv, p.serialization(pkt.WireBytes), p.txDoneFn)
 }
 
 // txDone is the persistent serialization-complete handler: account the

@@ -72,10 +72,11 @@ type Host struct {
 	rx        map[uint64]*recvFlow
 
 	// timerFn and probeFn are the persistent pacing-wakeup and probe-tick
-	// handlers: built once so re-arming a timer allocates nothing.
-	timerFn    eventsim.Handler
-	timerEv    eventsim.EventID
-	timerArmed bool
+	// handlers: built once so re-arming a timer allocates nothing. The
+	// pacing wakeup moves constantly (every arbiter pass can retarget
+	// it), so it rides the timing wheel via RearmAt.
+	timerFn eventsim.Handler
+	timerEv eventsim.EventID
 
 	onComplete FlowCompleteFunc
 
@@ -85,6 +86,10 @@ type Host struct {
 	probeEvery   eventsim.Time
 	rttNormSum   float64
 	rttNormCount int64
+
+	// suppressRPTimers, when set, starts every new QP's reaction point
+	// with quiescent-timer suppression on (see dcqcn.RP.SetSuppression).
+	suppressRPTimers bool
 
 	// markedInbound collects inbound flows that saw ECN marks since the
 	// last TakeCongestedInbound (DCQCN+ uses this as its incast-scale
@@ -133,10 +138,7 @@ func NewHostSeeded(eng, seedSrc *eventsim.Engine, topo *topology.Topology, node 
 	h.port = netdev.NewEgressPort(eng, l.RateBps, l.PropDelay, seedSrc.Rand())
 	h.port.SetOnDeparted(func(pkt *netdev.Packet, inPort int) { h.schedule() })
 	h.port.SetOnResume(func(class int) { h.schedule() })
-	h.timerFn = func() {
-		h.timerArmed = false
-		h.schedule()
-	}
+	h.timerFn = func() { h.schedule() }
 	h.probeFn = func() {
 		h.sendProbes()
 		h.armProbe()
@@ -165,6 +167,11 @@ func (h *Host) SetMTU(mtu int) {
 	h.mtu = mtu
 }
 
+// SetTimerSuppression controls whether new QPs park their DCQCN timers
+// while provably quiescent (dcqcn.RP.SetSuppression). Applies to flows
+// started after the call; existing flows keep their setting.
+func (h *Host) SetTimerSuppression(on bool) { h.suppressRPTimers = on }
+
 // ActiveFlows reports the number of in-progress sending flows.
 func (h *Host) ActiveFlows() int { return len(h.sendFlows) }
 
@@ -182,6 +189,9 @@ func (h *Host) StartFlow(id uint64, dst topology.NodeID, size int64) *SendFlow {
 		ID: id, Dst: dst, Size: size, Start: h.eng.Now(),
 		rp:       dcqcn.NewRP(h.eng, h.params, h.port.RateBps()),
 		nextSend: h.eng.Now(),
+	}
+	if h.suppressRPTimers {
+		f.rp.SetSuppression(true)
 	}
 	f.rp.Start()
 	h.sendFlows = append(h.sendFlows, f)
@@ -218,11 +228,11 @@ func (h *Host) schedule() {
 		h.sendPacket(best)
 		return
 	}
-	if h.timerArmed {
-		h.eng.Cancel(h.timerEv)
-	}
-	h.timerArmed = true
-	h.timerEv = h.eng.Schedule(best.nextSend, h.timerFn)
+	// Retarget the pacing wakeup in place: when a wakeup is still armed
+	// this replaces the historical Cancel+Schedule pair with one O(1)
+	// wheel reschedule; when the wakeup just fired (its id is stale) it
+	// arms afresh. Both consume one sequence number, exactly like before.
+	h.timerEv = h.eng.RearmAt(h.timerEv, best.nextSend, h.timerFn)
 }
 
 func (h *Host) sendPacket(f *SendFlow) {
@@ -343,7 +353,7 @@ func (h *Host) StopProbing() {
 
 func (h *Host) armProbe() {
 	h.probeArmed = true
-	h.probeEv = h.eng.After(h.probeEvery, h.probeFn)
+	h.probeEv = h.eng.RearmAfter(h.probeEv, h.probeEvery, h.probeFn)
 }
 
 func (h *Host) sendProbes() {

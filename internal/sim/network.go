@@ -43,6 +43,17 @@ type Config struct {
 	// legacy single-engine path, unchanged bit for bit from before
 	// sharding existed.
 	Shards int
+	// SuppressQuiescentTimers parks each QP's DCQCN timers while the QP
+	// is provably quiescent (line rate, alpha fully decayed) and re-arms
+	// them lazily on the next CNP — trace-invariant by construction (see
+	// dcqcn.RP.SetSuppression), but off by default so the stock event
+	// counts in overhead reports stay comparable across PRs.
+	SuppressQuiescentTimers bool
+	// HeapOnlyTimers disables the engines' timing-wheel timer path,
+	// forcing every timer onto the binary-heap; behaviorally identical
+	// (the wheel's ordering contract) and only useful as the baseline
+	// arm of performance comparisons.
+	HeapOnlyTimers bool
 }
 
 // DefaultConfig is a small, fast fabric useful for tests and examples:
@@ -135,6 +146,9 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	eng := eventsim.NewEngine(cfg.Seed)
+	if cfg.HeapOnlyTimers {
+		eng.SetWheelEnabled(false)
+	}
 	n := &Network{
 		Eng: eng, Topo: topo, cfg: cfg,
 		hostByNode:   map[topology.NodeID]*rnic.Host{},
@@ -174,6 +188,7 @@ func New(cfg Config) (*Network, error) {
 		if cfg.MTU > 0 {
 			h.SetMTU(cfg.MTU)
 		}
+		h.SetTimerSuppression(cfg.SuppressQuiescentTimers)
 		h.SetPacketPool(n.pool)
 		n.Hosts = append(n.Hosts, h)
 		n.hostByNode[hn] = h

@@ -121,6 +121,9 @@ func (n *Network) buildSharded() error {
 		// device stream comes from the global engine — so these seeds only
 		// need to exist, not to match anything.
 		rt.engines[s] = eventsim.NewEngine(cfg.Seed + int64(s) + 1)
+		if cfg.HeapOnlyTimers {
+			rt.engines[s].SetWheelEnabled(false)
+		}
 		rt.pools[s] = netdev.NewPacketPool()
 	}
 	n.shard = rt
@@ -152,6 +155,7 @@ func (n *Network) buildSharded() error {
 		if cfg.MTU > 0 {
 			h.SetMTU(cfg.MTU)
 		}
+		h.SetTimerSuppression(cfg.SuppressQuiescentTimers)
 		h.SetPacketPool(rt.pools[s])
 		n.Hosts = append(n.Hosts, h)
 		n.hostByNode[hn] = h

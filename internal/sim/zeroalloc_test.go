@@ -17,7 +17,20 @@ import (
 // PFC frames, probe replies, timer re-arms, sketch inserts) that still
 // allocates per event.
 func TestSteadyStateZeroAlloc(t *testing.T) {
-	n, err := sim.New(sim.DefaultConfig())
+	testSteadyStateZeroAlloc(t, sim.DefaultConfig())
+}
+
+// The suppressed variant additionally covers the park/unpark paths: CNPs
+// landing on parked QPs re-arm timers through RearmAfter, which must hit
+// the wheel's O(1) in-place path without allocating.
+func TestSteadyStateZeroAllocSuppressed(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.SuppressQuiescentTimers = true
+	testSteadyStateZeroAlloc(t, cfg)
+}
+
+func testSteadyStateZeroAlloc(t *testing.T, cfg sim.Config) {
+	n, err := sim.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

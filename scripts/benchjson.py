@@ -3,6 +3,7 @@
 
 Usage: benchjson.py [--require NAME[,NAME...]] BENCH_OUTPUT.txt BENCH.json
        benchjson.py --merge BENCH_trajectory.json BENCH_pr*.json
+       benchjson.py --gate [--tol FRAC] BENCH_current.json BENCH_trajectory.json
 
 Parses every benchmark result line into {name, iterations, metrics{unit:
 value}} and writes the collection as JSON. The output path is free-form,
@@ -15,7 +16,10 @@ BENCH_pr6.json, ...) without clobbering each other. Exits non-zero when:
     stopped covering it, or
   * any benchmark in ZERO_ALLOC reports a non-zero allocs/op — these pin
     the zero-allocation hot path (pooled event engine, packet free-lists,
-    sketch fast hashing) and a regression here is a build breaker.
+    sketch fast hashing) and a regression here is a build breaker, or
+  * any RATIO_GATES pair present in the results violates its bound —
+    same-run A/B arms (timing wheel vs heap-only) whose ratio is the
+    PR's headline claim.
 
 --require names are substring matches against the result names (which may
 carry a -<GOMAXPROCS> suffix), so "BenchmarkShardedThroughput" covers its
@@ -26,6 +30,16 @@ benchmark name: {benchmarks: {name: [{source, iterations, metrics}, ...]}},
 inputs ordered by the numeric PR suffix when present (BENCH_pr5 before
 BENCH_pr10) so each list reads as the metric's history across the stack.
 Exits non-zero when an input is missing, unparsable, or empty.
+
+--gate compares a current gate file against the merged trajectory: for
+every benchmark name present in both, each directional metric (ns/op and
+ns/event lower-better, events/sec higher-better, ...) is checked against
+the BEST value any *prior* PR recorded (entries whose source label
+matches the current file are skipped, since the trajectory is merged
+before gating). A metric more than --tol (default 0.10, i.e. 10%) worse
+than the historical best fails the gate: the perf trajectory across the
+PR stack must never quietly slide backwards. Names with no prior entry
+pass — a new benchmark founds its own trajectory.
 """
 
 import json
@@ -42,7 +56,31 @@ ZERO_ALLOC = [
     "BenchmarkPortForward",
     "BenchmarkDispatchPlan",
     "BenchmarkTunerStep",
+    "BenchmarkTimerWheel",
 ]
+
+# Same-run A/B ratio bounds: (numerator name, denominator name, metric,
+# max ratio). Names match exactly or with a -<GOMAXPROCS> suffix, and
+# the bound is enforced only when exactly one result matches each side —
+# a bench run that includes only one arm is not gated. The timer-wheel
+# bound is the PR's acceptance criterion: wheel-path ns/event must be at
+# least 25% below the heap-only arm measured in the same run.
+RATIO_GATES = [
+    ("BenchmarkEngineThroughputTimerHeavy/wheel",
+     "BenchmarkEngineThroughputTimerHeavy/heap", "ns/event", 0.75),
+]
+
+# Directional metrics for the --gate trajectory comparison. Anything not
+# listed (experiment-specific readings like accuracies or GB/s tables) is
+# informational only: those vary with scenario tuning, not code speed.
+LOWER_BETTER = {"ns/op", "ns/event", "allocs/op", "B/op"}
+HIGHER_BETTER = {"events/sec"}
+
+# Additive slack for metrics whose baseline can be a handful of counts:
+# 2 vs 4 allocs/op is testing-harness jitter, not a leak — a real alloc
+# regression shows up orders of magnitude above this. The ZERO_ALLOC
+# list, which demands exactly 0, is unaffected.
+GATE_SLACK = {"allocs/op": 4.0, "B/op": 256.0}
 
 LINE = re.compile(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$")
 METRIC = re.compile(r"([-+0-9.eE]+)\s+(\S+)")
@@ -105,12 +143,99 @@ def merge(dst, srcs):
           % (len(srcs), len(trajectory), dst))
 
 
+def ratio_failures(results):
+    """Check every RATIO_GATES pair that is fully present in results."""
+    def matches(name, pat):
+        return name == pat or name.startswith(pat + "-")
+    failures = []
+    for num_pat, den_pat, metric, bound in RATIO_GATES:
+        nums = [r for r in results if matches(r["name"], num_pat)]
+        dens = [r for r in results if matches(r["name"], den_pat)]
+        if len(nums) != 1 or len(dens) != 1:
+            continue
+        num = nums[0]["metrics"].get(metric)
+        den = dens[0]["metrics"].get(metric)
+        if num is None or den is None or den == 0:
+            continue
+        ratio = num / den
+        if ratio > bound:
+            failures.append(
+                "%s %s = %g vs %s = %g: ratio %.3f exceeds %.2f"
+                % (nums[0]["name"], metric, num, dens[0]["name"], den,
+                   ratio, bound))
+    return failures
+
+
+def gate(current_path, trajectory_path, tol):
+    try:
+        with open(current_path) as f:
+            current = json.load(f)
+        with open(trajectory_path) as f:
+            trajectory = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit("benchjson: --gate: %s" % e)
+    results = current.get("benchmarks")
+    if not isinstance(results, list) or not results:
+        sys.exit("benchjson: --gate: %s has no benchmarks" % current_path)
+    history = trajectory.get("benchmarks")
+    if not isinstance(history, dict) or not history:
+        sys.exit("benchjson: --gate: %s has no trajectory" % trajectory_path)
+
+    own = re.sub(r"^BENCH_|\.json$", "", current_path.rsplit("/", 1)[-1])
+    failures, checked = [], 0
+    for r in results:
+        prior = [e for e in history.get(r["name"], [])
+                 if e.get("source") != own]
+        if not prior:
+            continue
+        for metric, value in sorted(r["metrics"].items()):
+            lower = metric in LOWER_BETTER
+            if not lower and metric not in HIGHER_BETTER:
+                continue
+            vals = [e["metrics"][metric] for e in prior
+                    if metric in e.get("metrics", {})]
+            if not vals:
+                continue
+            best = min(vals) if lower else max(vals)
+            checked += 1
+            if lower and value > best * (1 + tol) + GATE_SLACK.get(metric, 0):
+                failures.append("%s %s = %g, best prior %g (+%.1f%% > tol %.0f%%)"
+                                % (r["name"], metric, value, best,
+                                   100 * (value / best - 1), 100 * tol))
+            elif not lower and best > 0 and value < best * (1 - tol):
+                failures.append("%s %s = %g, best prior %g (-%.1f%% > tol %.0f%%)"
+                                % (r["name"], metric, value, best,
+                                   100 * (1 - value / best), 100 * tol))
+
+    failures.extend(ratio_failures(results))
+    print("benchjson: gated %d metrics of %d benchmarks against %s"
+          % (checked, len(results), trajectory_path))
+    if failures:
+        sys.exit("perf trajectory gate failed:\n  " + "\n  ".join(failures))
+    print("benchjson: trajectory gate passed")
+
+
 def main():
     args = sys.argv[1:]
     if args and args[0] == "--merge":
         if len(args) < 3:
             sys.exit(__doc__)
         merge(args[1], args[2:])
+        return
+    if args and args[0] == "--gate":
+        args.pop(0)
+        tol = 0.10
+        while args and args[0].startswith("--tol"):
+            opt = args.pop(0)
+            if opt == "--tol":
+                if not args:
+                    sys.exit("benchjson: --tol needs a fraction")
+                tol = float(args.pop(0))
+            else:
+                tol = float(opt.split("=", 1)[1])
+        if len(args) != 2:
+            sys.exit(__doc__)
+        gate(args[0], args[1], tol)
         return
     required = []
     while args and args[0].startswith("--"):
@@ -143,6 +268,7 @@ def main():
         allocs = r["metrics"].get("allocs/op")
         if gated and allocs is not None and allocs != 0:
             failures.append("%s: %g allocs/op, want 0" % (r["name"], allocs))
+    failures.extend(ratio_failures(results))
 
     with open(dst, "w") as f:
         json.dump({"benchmarks": results}, f, indent=2, sort_keys=True)
